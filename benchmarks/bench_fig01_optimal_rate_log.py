@@ -1,0 +1,34 @@
+"""Fig. 1 — optimal sampling rate over a log-spaced grid of flow size pairs.
+
+Paper reading: the required rate is ~100% on the diagonal (equal sizes)
+and decays quickly as the relative size difference grows; on a log-scale
+grid the high-rate ridge narrows as flows get larger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure_01_optimal_rate_log
+from repro.experiments.report import render_figure_result
+
+
+def test_fig01_optimal_rate_log(run_once):
+    result = run_once(figure_01_optimal_rate_log, num_points=25, max_size=1000)
+    print()
+    print(render_figure_result(result))
+
+    rates = result.extra["rates_percent"]
+    sizes = result.extra["sizes"]
+    # Diagonal (equal sizes) requires full capture.
+    assert np.allclose(np.diag(rates), 100.0)
+    # A flow 10x larger than its partner needs far less than full capture.
+    large_gap = rates[0, -1]
+    assert large_gap < 10.0
+    # The surface narrows in relative terms: a fixed ratio pair needs a
+    # smaller rate when both flows are larger.
+    idx_small = np.searchsorted(sizes, 10)
+    idx_small_partner = np.searchsorted(sizes, 20)
+    idx_large = np.searchsorted(sizes, 400)
+    idx_large_partner = np.searchsorted(sizes, 800)
+    assert rates[idx_large, idx_large_partner] < rates[idx_small, idx_small_partner]

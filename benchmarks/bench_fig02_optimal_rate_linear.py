@@ -1,0 +1,25 @@
+"""Fig. 2 — optimal sampling rate over a linear grid of flow size pairs.
+
+Paper reading: for a fixed absolute gap of k packets, the required rate
+*increases* with the flow sizes (the surface widens on a linear scale) —
+it is harder to rank two large flows that differ by k packets than two
+small ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import figure_02_optimal_rate_linear
+from repro.experiments.report import render_figure_result
+
+
+def test_fig02_optimal_rate_linear(run_once):
+    result = run_once(figure_02_optimal_rate_linear, num_points=25, max_size=1000)
+    print()
+    print(render_figure_result(result))
+
+    series = next(iter(result.series.values()))
+    # Required rate for a fixed-gap pair grows with the absolute size.
+    assert series[-1] > series[0]
+    assert np.all(np.diff(series) >= -1e-9)

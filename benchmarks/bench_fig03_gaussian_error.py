@@ -1,0 +1,28 @@
+"""Fig. 3 — absolute error of the Gaussian approximation at a 1% sampling rate.
+
+Paper reading: the error is only significant when both flows have
+``p * S`` below a few packets; once one of the flows exceeds a few
+hundred packets (at p = 1%) the approximation is essentially exact.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_03_gaussian_error
+from repro.experiments.report import render_figure_result
+
+
+def test_fig03_gaussian_error(run_once):
+    result = run_once(figure_03_gaussian_error, num_points=20, max_size=1000, sampling_rate=0.01)
+    print()
+    print(render_figure_result(result))
+
+    sizes = result.extra["sizes"]
+    errors = result.extra["errors"]
+    # Large errors exist somewhere (both flows tiny)...
+    assert errors.max() > 0.2
+    # ... but pairs involving one flow above ~300 packets and a distinct
+    # partner have negligible error.
+    large = sizes >= 300
+    distinct = sizes[:, None] != sizes[None, :]
+    mask = (large[:, None] | large[None, :]) & distinct
+    assert errors[mask].max() < 0.1

@@ -1,0 +1,27 @@
+"""Fig. 4 — ranking metric vs sampling rate for several t (5-tuple flows).
+
+Paper reading (N = 0.7M, beta = 1.5): the top 1-2 flows are rankable at
+1%, the top 5 are borderline, the top 10 and 25 need well above 10%, and
+0.1% never works.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_04_ranking_top_t_five_tuple
+from repro.experiments.report import acceptable_rate_threshold, render_figure_result
+
+
+def test_fig04_ranking_top_t_five_tuple(run_once, fast_rates):
+    result = run_once(figure_04_ranking_top_t_five_tuple, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    # 1% ranks the top couple of flows but not the top 10.
+    assert acceptable_rate_threshold(result, "t = 1") <= 1.0
+    assert acceptable_rate_threshold(result, "t = 2") <= 1.0
+    threshold_10 = acceptable_rate_threshold(result, "t = 10")
+    assert threshold_10 is None or threshold_10 > 10.0
+    # Larger t is uniformly harder.
+    for rate_index in range(len(result.x_values)):
+        values = [result.series[f"t = {t}"][rate_index] for t in (1, 2, 5, 10, 25)]
+        assert values == sorted(values)

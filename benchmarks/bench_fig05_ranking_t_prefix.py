@@ -1,0 +1,32 @@
+"""Fig. 5 — ranking metric vs sampling rate for several t (/24 prefix flows).
+
+Paper reading: even though /24 flows are ~3.5x larger on average, the
+required rates are essentially the same as for the 5-tuple definition —
+aggregation does not buy accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import (
+    figure_04_ranking_top_t_five_tuple,
+    figure_05_ranking_top_t_prefix,
+)
+from repro.experiments.report import acceptable_rate_threshold, render_figure_result
+
+
+def test_fig05_ranking_top_t_prefix(run_once, fast_rates):
+    result = run_once(figure_05_ranking_top_t_prefix, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    # Top few flows need on the order of 1%, as with 5-tuple flows.
+    assert acceptable_rate_threshold(result, "t = 1") <= 2.0
+    threshold_10 = acceptable_rate_threshold(result, "t = 10")
+    assert threshold_10 is None or threshold_10 > 10.0
+
+    # No dramatic gain over the 5-tuple definition for the top 5 flows.
+    five_tuple = figure_04_ranking_top_t_five_tuple(rates=fast_rates, top_t_values=(5,))
+    prefix_threshold = acceptable_rate_threshold(result, "t = 5")
+    five_tuple_threshold = acceptable_rate_threshold(five_tuple, "t = 5")
+    if prefix_threshold is not None and five_tuple_threshold is not None:
+        assert prefix_threshold > five_tuple_threshold / 20.0

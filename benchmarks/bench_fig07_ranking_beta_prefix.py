@@ -1,0 +1,17 @@
+"""Fig. 7 — impact of the Pareto shape on the ranking metric (/24 prefix flows)."""
+
+from __future__ import annotations
+
+from repro.experiments.figures import figure_07_ranking_beta_prefix
+from repro.experiments.report import acceptable_rate_threshold, render_figure_result
+
+
+def test_fig07_ranking_beta_prefix(run_once, fast_rates):
+    result = run_once(figure_07_ranking_beta_prefix, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    for rate_index in range(len(result.x_values)):
+        values = [result.series[f"beta = {b}"][rate_index] for b in (1.2, 1.5, 2.0, 2.5, 3.0)]
+        assert values == sorted(values)
+    assert acceptable_rate_threshold(result, "beta = 3.0") is None

@@ -1,0 +1,34 @@
+"""Fig. 8 — impact of the total number of flows on the ranking metric (5-tuple).
+
+Paper reading: the ranking gets uniformly easier as N grows; for small N
+(140K) even 50% sampling is not enough for the top 10, while for millions
+of flows low rates start to work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import FIVE_TUPLE, TOTAL_FLOWS_FACTORS
+from repro.experiments.figures import figure_08_ranking_total_flows_five_tuple
+from repro.experiments.report import acceptable_rate_threshold, render_figure_result
+
+
+def test_fig08_ranking_total_flows_five_tuple(run_once, fast_rates):
+    result = run_once(figure_08_ranking_total_flows_five_tuple, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    labels = [f"N = {FIVE_TUPLE.scaled_total_flows(f):,}" for f in TOTAL_FLOWS_FACTORS]
+    # Metric decreases monotonically with N at every sampling rate.
+    for rate_index in range(len(result.x_values)):
+        values = [result.series[label][rate_index] for label in labels]
+        assert values == sorted(values, reverse=True)
+
+    # The smallest population cannot be ranked even at 50%.
+    assert acceptable_rate_threshold(result, labels[0]) is None
+    # The largest population is several times easier at 1% and more than an
+    # order of magnitude easier at 0.1%.
+    one_percent = int(np.argmin(np.abs(result.x_values - 1.0)))
+    assert result.series[labels[-1]][one_percent] < result.series[labels[0]][one_percent] / 3.0
+    assert result.series[labels[-1]][0] < result.series[labels[0]][0] / 10.0

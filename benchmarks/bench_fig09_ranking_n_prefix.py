@@ -1,0 +1,18 @@
+"""Fig. 9 — impact of the total number of flows on the ranking metric (/24 prefix)."""
+
+from __future__ import annotations
+
+from repro.experiments.config import PREFIX_24, TOTAL_FLOWS_FACTORS
+from repro.experiments.figures import figure_09_ranking_total_flows_prefix
+from repro.experiments.report import render_figure_result
+
+
+def test_fig09_ranking_total_flows_prefix(run_once, fast_rates):
+    result = run_once(figure_09_ranking_total_flows_prefix, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    labels = [f"N = {PREFIX_24.scaled_total_flows(f):,}" for f in TOTAL_FLOWS_FACTORS]
+    for rate_index in range(len(result.x_values)):
+        values = [result.series[label][rate_index] for label in labels]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,34 @@
+"""Fig. 10 — detection metric vs sampling rate for several t (5-tuple flows).
+
+Paper reading: relaxing the problem from ranking to detection shifts all
+curves down by roughly an order of magnitude; the top 10 flows become
+detectable at ~10% instead of >50%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import (
+    figure_04_ranking_top_t_five_tuple,
+    figure_10_detection_top_t_five_tuple,
+)
+from repro.experiments.report import acceptable_rate_threshold, render_figure_result
+
+
+def test_fig10_detection_top_t_five_tuple(run_once, fast_rates):
+    result = run_once(figure_10_detection_top_t_five_tuple, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    # Detection of the top 10 flows becomes feasible around 10%.
+    threshold_10 = acceptable_rate_threshold(result, "t = 10")
+    assert threshold_10 is not None and threshold_10 <= 20.0
+
+    # Detection is uniformly easier than ranking.
+    ranking = figure_04_ranking_top_t_five_tuple(rates=fast_rates, top_t_values=(10,))
+    assert np.all(result.series["t = 10"] <= ranking.series["t = 10"] + 1e-9)
+
+    # The gain grows to at least ~5x at moderate rates.
+    ten_percent = int(np.argmin(np.abs(result.x_values - 10.0)))
+    assert result.series["t = 10"][ten_percent] < ranking.series["t = 10"][ten_percent] / 5.0

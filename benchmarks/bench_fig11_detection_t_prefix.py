@@ -1,0 +1,27 @@
+"""Fig. 11 — detection metric vs sampling rate for several t (/24 prefix flows)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import (
+    figure_05_ranking_top_t_prefix,
+    figure_11_detection_top_t_prefix,
+)
+from repro.experiments.report import acceptable_rate_threshold, render_figure_result
+
+
+def test_fig11_detection_top_t_prefix(run_once, fast_rates):
+    result = run_once(figure_11_detection_top_t_prefix, rates=fast_rates)
+    print()
+    print(render_figure_result(result))
+
+    # Detection shifted down compared with ranking (same flow definition).
+    ranking = figure_05_ranking_top_t_prefix(rates=fast_rates, top_t_values=(10,))
+    assert np.all(result.series["t = 10"] <= ranking.series["t = 10"] + 1e-9)
+
+    # Aggregating into prefixes does not change the detection story:
+    # the top 10 prefixes still need on the order of 10%.
+    threshold_10 = acceptable_rate_threshold(result, "t = 10")
+    assert threshold_10 is not None and threshold_10 <= 30.0
+    assert threshold_10 > 1.0

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data behind one figure of the paper and
+prints the series in a paper-comparable form (run pytest with ``-s`` to
+see them).  ``pytest-benchmark`` measures how long the regeneration
+takes; each experiment is executed once per benchmark (``rounds=1``)
+because the workloads are deterministic and some of them are heavy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture
+def fast_rates() -> tuple[float, ...]:
+    """Reduced sampling-rate sweep shared by the analytical figure benchmarks."""
+    return (0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5)
+
+
+@pytest.fixture
+def trace_settings() -> dict[str, float]:
+    """Reduced trace-simulation settings shared by the Fig. 12-16 benchmarks.
+
+    The paper runs 30 sampling runs over a 30-minute backbone trace; the
+    benchmarks scale the flow arrival rate to 2% of the Sprint value and
+    use 5 runs over 15 minutes so the whole harness finishes in a few
+    minutes.  See EXPERIMENTS.md for the substitution note.
+    """
+    return {"scale": 0.02, "num_runs": 5, "trace_duration": 900.0}

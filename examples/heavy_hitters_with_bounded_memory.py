@@ -1,0 +1,103 @@
+"""Heavy-hitter identification under memory and sampling constraints.
+
+The paper's related work (Estan & Varghese, Duffield & Lund) bounds the
+*memory* of the monitor, while the paper itself bounds the *packet
+processing* through sampling.  This example puts the two families side
+by side on one synthetic traffic mix and reports how much of the true
+top-10 list each approach recovers:
+
+* plain Bernoulli packet sampling at 1% (rank sampled counts);
+* sample-and-hold with a 1% admission probability;
+* a multistage filter (count-min sketch) fed by the unsampled stream;
+* smart (size-dependent) sampling of complete flow records.
+
+Run with:  python examples/heavy_hitters_with_bounded_memory.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metrics import top_set_overlap
+from repro.flows.keys import FiveTupleKeyPolicy
+from repro.flows.packets import Packet
+from repro.flows.records import FlowSummary
+from repro.sampling import BernoulliSampler, MultistageFilter, SampleAndHold, SmartFlowSampler
+from repro.traces import SyntheticTraceGenerator, expand_to_packets, sprint_like_config
+
+TOP_T = 10
+SAMPLING_RATE = 0.01
+SEED = 7
+
+
+def main() -> None:
+    config = sprint_like_config(scale=0.004, duration=300.0)
+    trace = SyntheticTraceGenerator(config).generate(rng=SEED)
+    batch = expand_to_packets(trace, rng=SEED + 1)
+    original_counts = np.bincount(batch.flow_ids, minlength=trace.num_flows)
+    print(
+        f"traffic mix: {trace.num_flows:,} flows, {len(batch):,} packets, "
+        f"largest flow = {original_counts.max():,} packets"
+    )
+
+    # --- plain packet sampling -------------------------------------------------
+    sampler = BernoulliSampler(SAMPLING_RATE, rng=SEED + 2)
+    mask = sampler.sample_mask(batch)
+    sampled_counts = np.bincount(batch.flow_ids[mask], minlength=trace.num_flows)
+    packet_overlap = top_set_overlap(original_counts, sampled_counts, TOP_T)
+
+    # --- sample-and-hold --------------------------------------------------------
+    hold = SampleAndHold(SAMPLING_RATE, key_policy=FiveTupleKeyPolicy(), rng=SEED + 3)
+    for timestamp, flow_id in zip(batch.timestamps, batch.flow_ids):
+        hold.observe(Packet(float(timestamp), trace.five_tuple(int(flow_id))))
+    estimates = hold.estimated_sizes()
+    hold_counts = np.array(
+        [estimates.get(trace.five_tuple(i), 0.0) for i in range(trace.num_flows)]
+    )
+    hold_overlap = top_set_overlap(original_counts, hold_counts, TOP_T)
+
+    # --- multistage filter (unsampled stream, bounded memory) ------------------
+    sketch = MultistageFilter(width=4096, depth=4, seed=SEED)
+    for timestamp, flow_id in zip(batch.timestamps, batch.flow_ids):
+        sketch.observe(Packet(float(timestamp), trace.five_tuple(int(flow_id))))
+    sketch_counts = np.array(
+        [sketch.estimate(trace.five_tuple(i)) for i in range(trace.num_flows)]
+    )
+    sketch_overlap = top_set_overlap(original_counts, sketch_counts, TOP_T)
+
+    # --- smart sampling of complete flow records --------------------------------
+    summaries = [
+        FlowSummary(
+            key=i,
+            packets=int(original_counts[i]),
+            bytes=int(original_counts[i]) * 500,
+            first_seen=float(trace.start_times[i]),
+            last_seen=float(trace.start_times[i] + trace.durations[i]),
+        )
+        for i in range(trace.num_flows)
+        if original_counts[i] > 0
+    ]
+    smart = SmartFlowSampler(threshold_packets=1.0 / SAMPLING_RATE, rng=SEED + 4)
+    kept = smart.sample_records(summaries)
+    smart_counts = np.zeros(trace.num_flows)
+    for record in kept:
+        smart_counts[record.flow.key] = record.estimated_packets
+    smart_overlap = top_set_overlap(original_counts, smart_counts, TOP_T)
+
+    print()
+    print(f"fraction of the true top-{TOP_T} flows recovered:")
+    print(f"  packet sampling @ {SAMPLING_RATE:.0%}            : {packet_overlap:.2f}")
+    print(f"  sample-and-hold @ {SAMPLING_RATE:.0%} admission  : {hold_overlap:.2f}")
+    print(f"  multistage filter (no sampling)     : {sketch_overlap:.2f}")
+    print(f"  smart sampling of flow records      : {smart_overlap:.2f}")
+    print()
+    print(
+        "Reading: mechanisms that see every packet (or every flow record) keep\n"
+        "the top list almost intact with bounded memory; once packets are\n"
+        "dropped by sampling, the top list degrades exactly as the paper's\n"
+        "models predict."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Capacity planning for a monitoring deployment.
+
+Scenario (the use case the paper's introduction motivates): an operator
+wants to report the top-10 "heavy hitter" flows of each 5-minute
+interval from NetFlow-style packet sampling, and must decide which
+sampling rate to configure on the line cards.
+
+The example contrasts three accuracy targets on the same link:
+
+* estimate the *volume* of a large flow within 10% (classical target,
+  achievable at very low rates);
+* *detect* the set of the top-10 flows;
+* *rank* the top-10 flows in the right order.
+
+It also shows how the answer changes with the link's flow count (peak vs
+off-peak) and with the heaviness of the flow size distribution.
+
+Run with:  python examples/monitoring_capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.core import FlowPopulation, required_sampling_rate
+from repro.distributions import ParetoFlowSizes
+from repro.inversion import rate_for_relative_error
+
+
+def print_plan(label: str, total_flows: int, shape: float, top_t: int = 10) -> None:
+    distribution = ParetoFlowSizes.from_mean(mean=9.6, shape=shape)
+    population = FlowPopulation.from_distribution(distribution, total_flows=total_flows)
+
+    volume_rate = rate_for_relative_error(original_size=10_000, max_relative_error=0.10)
+    detection = required_sampling_rate(population, top_t, "detection", min_rate=1e-4)
+    ranking = required_sampling_rate(population, top_t, "ranking", min_rate=1e-4)
+
+    def fmt(plan) -> str:
+        return f"{plan.required_rate:8.2%}" if plan.feasible else "   > 100%"
+
+    print(f"  {label}")
+    print(f"    flows per interval : {total_flows:,}")
+    print(f"    Pareto shape       : {shape}")
+    print(f"    10% volume error on a 10k-packet flow : {volume_rate:8.2%}")
+    print(f"    detect the top {top_t:<2} flows                 : {fmt(detection)}")
+    print(f"    rank the top {top_t:<2} flows                   : {fmt(ranking)}")
+    print()
+
+
+def main() -> None:
+    print("== Sampling-rate requirements for one OC-12-like link ==\n")
+    print_plan("Busy hour (paper's Sprint parameters)", total_flows=700_000, shape=1.5)
+    print_plan("Off-peak (5x fewer flows)", total_flows=140_000, shape=1.5)
+    print_plan("Very large aggregate (3.5M flows)", total_flows=3_500_000, shape=1.5)
+    print_plan("Short-tailed traffic (Abilene-like)", total_flows=700_000, shape=2.5)
+
+    print(
+        "Reading: volume accuracy is cheap, detection needs a few percent to\n"
+        "tens of percent, and exact ranking often needs more than any router\n"
+        "can afford — unless the link aggregates millions of flows or the\n"
+        "size distribution is strongly heavy tailed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Quickstart: how well can packet sampling rank the largest flows?
+
+This walks through the library's core objects in the same order the
+paper introduces them:
+
+1. the misranking probability of two flows (exact and Gaussian),
+2. the minimum sampling rate to rank a pair reliably,
+3. the top-t ranking and detection models for a backbone-like link,
+4. the required sampling rate for an accuracy target.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    DetectionModel,
+    FlowPopulation,
+    RankingModel,
+    misranking_probability_exact,
+    misranking_probability_gaussian,
+    optimal_sampling_rate,
+    required_sampling_rate,
+)
+from repro.distributions import ParetoFlowSizes
+
+
+def pairwise_model() -> None:
+    print("== Ranking two flows (Section 3 of the paper) ==")
+    size_small, size_large = 800, 1000
+    for rate in (0.001, 0.01, 0.1, 0.5):
+        exact = misranking_probability_exact(size_small, size_large, rate)
+        approx = misranking_probability_gaussian(size_small, size_large, rate)
+        print(
+            f"  p = {rate:5.1%}: P(misrank {size_small} vs {size_large} pkts) "
+            f"= {exact:.4f} (exact), {approx:.4f} (Gaussian)"
+        )
+    rate_needed = optimal_sampling_rate(size_small, size_large, target=1e-3)
+    print(f"  minimum rate for a 0.1% misranking probability: {rate_needed:.1%}")
+    print()
+
+
+def topt_models() -> None:
+    print("== Ranking and detecting the top-t flows (Sections 5-7) ==")
+    # Backbone-like link: 0.7M 5-tuple flows per 5-minute interval,
+    # Pareto flow sizes with a 9.6-packet mean (4.8 KB at 500 B/packet).
+    distribution = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+    population = FlowPopulation.from_distribution(distribution, total_flows=700_000)
+
+    print("  average number of swapped flow pairs (ranking / detection):")
+    print("  rate      t=1              t=10")
+    for rate in (0.001, 0.01, 0.1, 0.5):
+        cells = []
+        for top_t in (1, 10):
+            ranking = RankingModel(population, top_t).swapped_pairs(rate)
+            detection = DetectionModel(population, top_t).swapped_pairs(rate)
+            cells.append(f"{ranking:9.3g} / {detection:9.3g}")
+        print(f"  {rate:5.1%}  {cells[0]}  {cells[1]}")
+    print()
+
+
+def plan_sampling_rate() -> None:
+    print("== Which sampling rate should an operator configure? ==")
+    distribution = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+    population = FlowPopulation.from_distribution(distribution, total_flows=700_000)
+    for top_t in (1, 5, 10):
+        ranking_plan = required_sampling_rate(population, top_t, "ranking")
+        detection_plan = required_sampling_rate(population, top_t, "detection")
+        ranking_text = (
+            f"{ranking_plan.required_rate:.2%}" if ranking_plan.feasible else "not feasible"
+        )
+        detection_text = (
+            f"{detection_plan.required_rate:.2%}" if detection_plan.feasible else "not feasible"
+        )
+        print(
+            f"  top {top_t:>2} flows: rank correctly -> {ranking_text:>12}, "
+            f"detect the set -> {detection_text:>12}"
+        )
+    print()
+    print("The paper's headline: ranking needs 10%+ sampling; detection is ~10x cheaper.")
+
+
+def main() -> None:
+    pairwise_model()
+    topt_models()
+    plan_sampling_rate()
+
+
+if __name__ == "__main__":
+    main()

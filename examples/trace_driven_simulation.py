@@ -1,0 +1,91 @@
+"""Trace-driven sampling simulation (the pipeline of Section 8 of the paper).
+
+The script:
+
+1. synthesises a Sprint-like flow-level trace (flow arrivals, Pareto
+   sizes, exponential durations) at a laptop-friendly scale;
+2. expands it to a packet-level trace (uniform packet placement, 500-byte
+   packets), exactly as the paper does with its flow-level trace;
+3. samples the packet stream at several rates, classifies sampled packets
+   into 5-tuple and /24-prefix flows per 1-minute bin, and counts the
+   swapped flow pairs for the ranking and detection problems;
+4. prints the per-rate summary and compares it with the analytical model
+   evaluated on the empirical flow size distribution of the trace.
+
+Run with:  python examples/trace_driven_simulation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import FlowPopulation, RankingModel
+from repro.distributions import EmpiricalFlowSizes
+from repro.experiments.report import render_simulation_result
+from repro.flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
+from repro.simulation import SimulationConfig, run_trace_simulation
+from repro.traces import (
+    SyntheticTraceGenerator,
+    aggregate_sizes,
+    sprint_like_config,
+    summarize_trace,
+)
+
+SCALE = 0.02          # fraction of the Sprint backbone flow arrival rate
+DURATION = 900.0      # seconds of traffic
+BIN_DURATION = 60.0   # measurement interval
+TOP_T = 10
+RATES = (0.001, 0.01, 0.1, 0.5)
+RUNS = 8
+SEED = 2026
+
+
+def main() -> None:
+    config = sprint_like_config(scale=SCALE, duration=DURATION)
+    trace = SyntheticTraceGenerator(config).generate(rng=SEED)
+
+    print("== Synthetic Sprint-like trace ==")
+    for policy in (FiveTupleKeyPolicy(), DestinationPrefixKeyPolicy(24)):
+        summary = summarize_trace(trace, policy, intervals=(BIN_DURATION,))
+        print(
+            f"  {summary.flow_definition:>24}: {summary.num_flows:,} flows, "
+            f"mean size {summary.mean_flow_size_packets:.1f} pkts, "
+            f"{summary.mean_flows_per_interval[BIN_DURATION]:.0f} flows per "
+            f"{BIN_DURATION:.0f}s bin, Hill tail index {summary.hill_tail_index:.2f}"
+        )
+    print()
+
+    print("== Trace-driven sampling simulation (top 10, 1-minute bins) ==")
+    for policy in (FiveTupleKeyPolicy(), DestinationPrefixKeyPolicy(24)):
+        sim_config = SimulationConfig(
+            bin_duration=BIN_DURATION,
+            top_t=TOP_T,
+            sampling_rates=RATES,
+            num_runs=RUNS,
+            key_policy=policy,
+            seed=SEED,
+        )
+        result = run_trace_simulation(trace, sim_config)
+        print(render_simulation_result(result))
+        print()
+
+    print("== Analytical model on the trace's own flow size distribution ==")
+    sizes = aggregate_sizes(trace, FiveTupleKeyPolicy())
+    flows_per_bin = max(2, int(round(sizes.size * BIN_DURATION / DURATION)))
+    population = FlowPopulation.from_grid(
+        EmpiricalFlowSizes(np.asarray(sizes)).discretize(), total_flows=flows_per_bin
+    )
+    model = RankingModel(population, top_t=TOP_T)
+    print("  rate    predicted swapped pairs (ranking, one bin)")
+    for rate in RATES:
+        print(f"  {rate:5.1%}  {model.swapped_pairs(rate):12.2f}")
+    print()
+    print(
+        "Reading: the simulation and the model agree on the story — 0.1% and 1%\n"
+        "sampling cannot rank the top 10 flows, 50% gets close, and detection\n"
+        "(the set, not the order) is roughly an order of magnitude easier."
+    )
+
+
+if __name__ == "__main__":
+    main()

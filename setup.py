@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this reproduction targets may be offline and lack the
+``wheel`` package required by PEP 660 editable installs.  Keeping a
+classic ``setup.py`` allows ``pip install -e . --no-use-pep517`` (and
+plain ``pip install -e .`` on modern toolchains) to work everywhere.
+All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "Ranking flows from sampled traffic".
+
+A library for studying how well the largest flows on a network link can
+be detected and ranked from packet-sampled traffic, reproducing the
+models and experiments of Barakat, Iannaccone and Diot (2004/2005).
+
+Subpackages
+-----------
+``repro.core``
+    Analytical misranking / ranking / detection models and metrics.
+``repro.distributions``
+    Flow size distributions (Pareto, lognormal, empirical, ...).
+``repro.flows``
+    Flow keys, packets, classification and flow tables.
+``repro.sampling``
+    Packet and flow samplers (Bernoulli, periodic, smart, heavy-hitter
+    baselines).
+``repro.traces``
+    Synthetic flow-level and packet-level traces.
+``repro.simulation``
+    Trace-driven sampling simulations (Section 8 of the paper).
+``repro.inversion``
+    Aggregate inversion estimators from prior work.
+``repro.experiments``
+    Drivers that regenerate each figure of the paper.
+"""
+
+from .core import (
+    DetectionModel,
+    FlowPopulation,
+    RankingModel,
+    misranking_probability_exact,
+    misranking_probability_gaussian,
+    optimal_sampling_rate,
+    required_sampling_rate,
+)
+from .distributions import ParetoFlowSizes
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "misranking_probability_exact",
+    "misranking_probability_gaussian",
+    "optimal_sampling_rate",
+    "FlowPopulation",
+    "RankingModel",
+    "DetectionModel",
+    "required_sampling_rate",
+    "ParetoFlowSizes",
+]

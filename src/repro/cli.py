@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+Three subcommands cover the workflows the library supports:
+
+* ``figure`` — regenerate the data behind one figure of the paper and
+  print it as a text table (``repro figure fig04``);
+* ``plan`` — compute the sampling rate required to rank or detect the
+  top-t flows of a link (``repro plan --flows 700000 --top 10``);
+* ``simulate`` — run a trace-driven sampling simulation on a synthetic
+  Sprint-like or Abilene-like trace (``repro simulate --scale 0.01``).
+
+Run ``python -m repro --help`` for the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+from .core.flow_size_model import FlowPopulation
+from .core.rate_planning import required_sampling_rate
+from .distributions.pareto import ParetoFlowSizes
+from .experiments.figures import ANALYTICAL_FIGURES, TRACE_FIGURES
+from .experiments.report import render_figure_result, render_simulation_result
+from .flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
+from .simulation.runner import SimulationConfig, run_trace_simulation
+from .traces.synthetic import SyntheticTraceGenerator, abilene_like_config, sprint_like_config
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ranking flows from sampled traffic — reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    figure = subparsers.add_parser("figure", help="regenerate one figure of the paper")
+    figure.add_argument(
+        "name",
+        choices=sorted(list(ANALYTICAL_FIGURES) + list(TRACE_FIGURES)),
+        help="figure identifier (fig01..fig16)",
+    )
+
+    plan = subparsers.add_parser("plan", help="required sampling rate for a link profile")
+    plan.add_argument("--flows", type=int, default=700_000, help="flows per measurement interval")
+    plan.add_argument("--top", type=int, default=10, help="number of top flows of interest")
+    plan.add_argument("--mean-packets", type=float, default=9.6, help="mean flow size in packets")
+    plan.add_argument("--shape", type=float, default=1.5, help="Pareto shape of the flow sizes")
+    plan.add_argument(
+        "--target", type=float, default=1.0, help="accuracy target (average swapped pairs)"
+    )
+
+    simulate = subparsers.add_parser("simulate", help="trace-driven sampling simulation")
+    simulate.add_argument("--trace", choices=("sprint", "abilene"), default="sprint")
+    simulate.add_argument("--scale", type=float, default=0.01, help="fraction of backbone flow rate")
+    simulate.add_argument("--duration", type=float, default=600.0, help="trace duration in seconds")
+    simulate.add_argument("--bin", type=float, default=60.0, help="measurement interval in seconds")
+    simulate.add_argument("--top", type=int, default=10, help="number of top flows")
+    simulate.add_argument("--runs", type=int, default=5, help="sampling runs per rate")
+    simulate.add_argument(
+        "--rates",
+        type=float,
+        nargs="+",
+        default=[0.001, 0.01, 0.1, 0.5],
+        help="packet sampling rates to evaluate",
+    )
+    simulate.add_argument("--prefix", action="store_true", help="use the /24 prefix flow definition")
+    simulate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_figure(name: str) -> str:
+    if name in ANALYTICAL_FIGURES:
+        return render_figure_result(ANALYTICAL_FIGURES[name]())
+    driver = TRACE_FIGURES[name]
+    return render_simulation_result(driver())
+
+
+def _run_plan(args: argparse.Namespace) -> str:
+    distribution = ParetoFlowSizes.from_mean(mean=args.mean_packets, shape=args.shape)
+    population = FlowPopulation.from_distribution(distribution, total_flows=args.flows)
+    lines = [
+        f"link profile: {args.flows:,} flows/interval, Pareto(shape={args.shape}), "
+        f"mean {args.mean_packets} packets",
+        f"accuracy target: fewer than {args.target} swapped pairs on average",
+    ]
+    for problem in ("detection", "ranking"):
+        plan = required_sampling_rate(
+            population, args.top, problem, target_swapped_pairs=args.target
+        )
+        rate_text = f"{plan.required_rate:.2%}" if plan.feasible else "not achievable"
+        lines.append(f"  {problem:<10} top {args.top:>3} flows -> required sampling rate {rate_text}")
+    return "\n".join(lines)
+
+
+def _run_simulate(args: argparse.Namespace) -> str:
+    if args.trace == "sprint":
+        trace_config = sprint_like_config(scale=args.scale, duration=args.duration)
+    else:
+        trace_config = abilene_like_config(scale=args.scale, duration=args.duration)
+    trace = SyntheticTraceGenerator(trace_config).generate(rng=args.seed)
+    key_policy = DestinationPrefixKeyPolicy(24) if args.prefix else FiveTupleKeyPolicy()
+    config = SimulationConfig(
+        bin_duration=args.bin,
+        top_t=args.top,
+        sampling_rates=tuple(args.rates),
+        num_runs=args.runs,
+        key_policy=key_policy,
+        seed=args.seed,
+    )
+    return render_simulation_result(run_trace_simulation(trace, config))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro`` console script."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "figure":
+        output = _run_figure(args.name)
+    elif args.command == "plan":
+        output = _run_plan(args)
+    elif args.command == "simulate":
+        output = _run_simulate(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise ValueError(f"unknown command {args.command!r}")
+    print(output)
+    return 0
+
+
+__all__ = ["main"]

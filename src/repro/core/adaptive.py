@@ -1,0 +1,161 @@
+"""Adaptive sampling-rate control (the paper's third future-work direction).
+
+Section 9 of the paper sketches "adaptive schemes that set the sampling
+rate based on the characteristics of the observed traffic".  This module
+implements such a controller: after every measurement interval it
+re-estimates the traffic characteristics from the *sampled* flows
+(total number of flows and flow size distribution, via the aggregate
+inversion estimators) and picks the smallest sampling rate whose
+predicted ranking/detection metric meets the operator's accuracy target
+for the next interval.
+
+The controller is deliberately conservative: estimates inverted from a
+low sampling rate are noisy, so the rate is only decreased by a bounded
+factor per step while increases are applied immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..distributions.empirical import EmpiricalFlowSizes
+from ..inversion.counts import invert_aggregates
+from .flow_size_model import FlowPopulation
+from .rate_planning import Problem, required_sampling_rate
+
+
+@dataclass(frozen=True)
+class AdaptiveStep:
+    """Outcome of one control step (one measurement interval)."""
+
+    interval_index: int
+    applied_rate: float
+    estimated_total_flows: float
+    estimated_mean_flow_size: float
+    recommended_rate: float
+    next_rate: float
+
+
+@dataclass
+class AdaptiveRateController:
+    """Chooses the packet sampling rate for the next measurement interval.
+
+    Parameters
+    ----------
+    top_t:
+        Number of top flows the operator wants to report.
+    problem:
+        ``"ranking"`` or ``"detection"``.
+    target_swapped_pairs:
+        Accuracy target on the predicted average number of swapped pairs.
+    initial_rate:
+        Rate used for the first interval, before any traffic has been seen.
+    min_rate, max_rate:
+        Bounds the controller may never leave.
+    max_decrease_factor:
+        The rate may shrink by at most this factor per interval (increases
+        are unbounded within ``max_rate``), protecting against noisy
+        estimates obtained at low rates.
+    """
+
+    top_t: int = 10
+    problem: Problem = "detection"
+    target_swapped_pairs: float = 1.0
+    initial_rate: float = 0.1
+    min_rate: float = 1e-3
+    max_rate: float = 1.0
+    max_decrease_factor: float = 4.0
+    history: list[AdaptiveStep] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.top_t < 1:
+            raise ValueError("top_t must be at least 1")
+        if not 0.0 < self.min_rate <= self.initial_rate <= self.max_rate <= 1.0:
+            raise ValueError("need 0 < min_rate <= initial_rate <= max_rate <= 1")
+        if self.target_swapped_pairs <= 0:
+            raise ValueError("target_swapped_pairs must be positive")
+        if self.max_decrease_factor < 1.0:
+            raise ValueError("max_decrease_factor must be at least 1")
+        self._current_rate = float(self.initial_rate)
+
+    # ------------------------------------------------------------------
+    @property
+    def current_rate(self) -> float:
+        """Sampling rate to apply to the upcoming measurement interval."""
+        return self._current_rate
+
+    def observe_interval(self, sampled_flow_sizes: Sequence[int]) -> AdaptiveStep:
+        """Feed the sampled flow sizes of the interval that just ended.
+
+        Parameters
+        ----------
+        sampled_flow_sizes:
+            Sampled packet counts of every flow seen in the interval
+            (each at least 1 packet).
+
+        Returns
+        -------
+        AdaptiveStep
+            The inversion results and the rate chosen for the next
+            interval.
+        """
+        applied_rate = self._current_rate
+        sizes = np.asarray(list(sampled_flow_sizes), dtype=np.int64)
+        interval_index = len(self.history)
+
+        if sizes.size < 2 * self.top_t:
+            # Too little signal to re-plan: fall back to the maximum rate,
+            # the safe direction for accuracy.
+            next_rate = min(self.max_rate, applied_rate * self.max_decrease_factor)
+            step = AdaptiveStep(
+                interval_index=interval_index,
+                applied_rate=applied_rate,
+                estimated_total_flows=float(sizes.size),
+                estimated_mean_flow_size=float(sizes.mean()) if sizes.size else 0.0,
+                recommended_rate=next_rate,
+                next_rate=next_rate,
+            )
+            self.history.append(step)
+            self._current_rate = next_rate
+            return step
+
+        aggregates = invert_aggregates(sizes, applied_rate)
+        estimated_flows = max(2 * self.top_t, int(round(aggregates.estimated_total_flows)))
+
+        # Reconstruct an (approximate) original flow size distribution by
+        # scaling the sampled sizes up by 1/p.  The heavy tail — which is
+        # what the ranking model is sensitive to — survives this scaling.
+        scaled_sizes = np.maximum(np.rint(sizes / applied_rate), 1).astype(np.int64)
+        population = FlowPopulation.from_grid(
+            EmpiricalFlowSizes(scaled_sizes).discretize(),
+            total_flows=estimated_flows,
+        )
+        plan = required_sampling_rate(
+            population,
+            top_t=min(self.top_t, estimated_flows - 1),
+            problem=self.problem,
+            target_swapped_pairs=self.target_swapped_pairs,
+            min_rate=self.min_rate,
+        )
+        recommended = plan.required_rate if plan.feasible else self.max_rate
+
+        floor = applied_rate / self.max_decrease_factor
+        next_rate = float(np.clip(recommended, max(self.min_rate, floor), self.max_rate))
+
+        step = AdaptiveStep(
+            interval_index=interval_index,
+            applied_rate=applied_rate,
+            estimated_total_flows=aggregates.estimated_total_flows,
+            estimated_mean_flow_size=aggregates.estimated_mean_flow_size,
+            recommended_rate=float(recommended),
+            next_rate=next_rate,
+        )
+        self.history.append(step)
+        self._current_rate = next_rate
+        return step
+
+
+__all__ = ["AdaptiveRateController", "AdaptiveStep"]

@@ -1,0 +1,202 @@
+"""Empirical ranking and detection metrics on observed flow lists.
+
+The analytical models of Sections 5-7 predict the *average* number of
+swapped flow pairs; the trace-driven simulations of Section 8 measure
+the same quantity on concrete (original, sampled) flow size lists.  This
+module implements that measurement, plus a few auxiliary rank-quality
+metrics that are useful in practice even though they do not appear in
+the paper (top-t set overlap, rank displacement).
+
+Conventions (matching the analytical model):
+
+* a pair is formed by one flow of the *true* top-t list and one other
+  flow of the original traffic (for the ranking metric) or one flow
+  outside the true top-t list (for the detection metric);
+* a pair of flows with different original sizes is swapped when the
+  originally smaller flow has a sampled size at least as large as the
+  originally bigger flow's sampled size;
+* a pair of flows with equal original sizes is swapped when their
+  sampled sizes differ, or when both are zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def _as_aligned_arrays(
+    original_sizes: Sequence[float] | Mapping[object, float],
+    sampled_sizes: Sequence[float] | Mapping[object, float],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Align original and sampled sizes into two same-length arrays.
+
+    Both mappings (flow id -> size) and plain sequences are accepted;
+    with mappings, flows absent from the sampled side count as size 0.
+    """
+    if isinstance(original_sizes, Mapping):
+        if not isinstance(sampled_sizes, Mapping):
+            raise TypeError("sampled_sizes must be a mapping when original_sizes is one")
+        keys = list(original_sizes.keys())
+        original = np.array([float(original_sizes[k]) for k in keys], dtype=float)
+        sampled = np.array([float(sampled_sizes.get(k, 0.0)) for k in keys], dtype=float)
+        return original, sampled
+    original = np.asarray(list(original_sizes), dtype=float)
+    sampled = np.asarray(list(sampled_sizes), dtype=float)
+    if original.shape != sampled.shape:
+        raise ValueError("original and sampled size lists must have the same length")
+    return original, sampled
+
+
+def _validate(original: np.ndarray, top_t: int) -> int:
+    if original.ndim != 1:
+        raise ValueError("flow sizes must form a 1-D array")
+    if original.size < 2:
+        raise ValueError("at least two flows are required")
+    if np.any(original <= 0):
+        raise ValueError("original flow sizes must be positive")
+    t = int(top_t)
+    if t < 1 or t > original.size:
+        raise ValueError(f"top_t must be between 1 and the number of flows, got {top_t}")
+    return t
+
+
+def _pair_swapped(
+    original_a: float,
+    original_b: float,
+    sampled_a: float,
+    sampled_b: float,
+) -> bool:
+    """Whether the pair is swapped, following the paper's conventions."""
+    if original_a == original_b:
+        return sampled_a != sampled_b or (sampled_a == 0.0 and sampled_b == 0.0)
+    if original_a > original_b:
+        original_a, original_b = original_b, original_a
+        sampled_a, sampled_b = sampled_b, sampled_a
+    # Now a is the originally smaller flow.
+    return sampled_a >= sampled_b
+
+
+def true_top_indices(original_sizes: np.ndarray, top_t: int) -> np.ndarray:
+    """Indices of the true top-t flows (ties broken by index for determinism)."""
+    order = np.lexsort((np.arange(original_sizes.size), -original_sizes))
+    return order[:top_t]
+
+
+def ranking_swapped_pairs(
+    original_sizes: Sequence[float] | Mapping[object, float],
+    sampled_sizes: Sequence[float] | Mapping[object, float],
+    top_t: int,
+) -> int:
+    """Number of swapped (top flow, any other flow) pairs — ranking metric.
+
+    This is the quantity whose expectation the analytical
+    :class:`~repro.core.ranking.RankingModel` computes; the total number
+    of pairs considered is ``(2N - t - 1) * t / 2``.
+    """
+    original, sampled = _as_aligned_arrays(original_sizes, sampled_sizes)
+    t = _validate(original, top_t)
+    top = true_top_indices(original, t)
+    top_set = set(int(i) for i in top)
+    swapped = 0
+    n = original.size
+    for position, i in enumerate(top):
+        for j in range(n):
+            if j == i:
+                continue
+            # Count each (top, top) pair once: only when the partner comes
+            # later in the top list or is outside the list.
+            if j in top_set:
+                j_position = int(np.where(top == j)[0][0])
+                if j_position <= position:
+                    continue
+            if _pair_swapped(original[i], original[j], sampled[i], sampled[j]):
+                swapped += 1
+    return swapped
+
+
+def detection_swapped_pairs(
+    original_sizes: Sequence[float] | Mapping[object, float],
+    sampled_sizes: Sequence[float] | Mapping[object, float],
+    top_t: int,
+) -> int:
+    """Number of swapped (top flow, non-top flow) pairs — detection metric.
+
+    The total number of pairs considered is ``t * (N - t)``.
+    """
+    original, sampled = _as_aligned_arrays(original_sizes, sampled_sizes)
+    t = _validate(original, top_t)
+    top = true_top_indices(original, t)
+    top_set = set(int(i) for i in top)
+    swapped = 0
+    for i in top:
+        for j in range(original.size):
+            if j in top_set:
+                continue
+            if _pair_swapped(original[i], original[j], sampled[i], sampled[j]):
+                swapped += 1
+    return swapped
+
+
+@dataclass(frozen=True)
+class RankQualityReport:
+    """Bundle of rank-quality indicators for one (original, sampled) pair."""
+
+    top_t: int
+    ranking_swapped_pairs: int
+    detection_swapped_pairs: int
+    top_set_overlap: float
+    exact_order_match: bool
+    mean_rank_displacement: float
+
+
+def top_set_overlap(
+    original_sizes: Sequence[float] | Mapping[object, float],
+    sampled_sizes: Sequence[float] | Mapping[object, float],
+    top_t: int,
+) -> float:
+    """Fraction of the true top-t flows present in the sampled top-t list."""
+    original, sampled = _as_aligned_arrays(original_sizes, sampled_sizes)
+    t = _validate(original, top_t)
+    true_top = set(int(i) for i in true_top_indices(original, t))
+    sampled_top = set(int(i) for i in true_top_indices(sampled + 1e-12, t))
+    return len(true_top & sampled_top) / t
+
+
+def rank_quality_report(
+    original_sizes: Sequence[float] | Mapping[object, float],
+    sampled_sizes: Sequence[float] | Mapping[object, float],
+    top_t: int,
+) -> RankQualityReport:
+    """Compute all rank-quality indicators at once."""
+    original, sampled = _as_aligned_arrays(original_sizes, sampled_sizes)
+    t = _validate(original, top_t)
+    ranking = ranking_swapped_pairs(original, sampled, t)
+    detection = detection_swapped_pairs(original, sampled, t)
+    overlap = top_set_overlap(original, sampled, t)
+
+    true_top = true_top_indices(original, t)
+    sampled_order = np.lexsort((np.arange(sampled.size), -sampled))
+    sampled_rank_of = {int(idx): rank for rank, idx in enumerate(sampled_order)}
+    displacements = [abs(sampled_rank_of[int(idx)] - rank) for rank, idx in enumerate(true_top)]
+    exact = bool(all(sampled_rank_of[int(idx)] == rank for rank, idx in enumerate(true_top)))
+    return RankQualityReport(
+        top_t=t,
+        ranking_swapped_pairs=ranking,
+        detection_swapped_pairs=detection,
+        top_set_overlap=overlap,
+        exact_order_match=exact,
+        mean_rank_displacement=float(np.mean(displacements)),
+    )
+
+
+__all__ = [
+    "ranking_swapped_pairs",
+    "detection_swapped_pairs",
+    "top_set_overlap",
+    "rank_quality_report",
+    "RankQualityReport",
+    "true_top_indices",
+]

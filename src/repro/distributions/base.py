@@ -1,0 +1,193 @@
+"""Base interfaces for flow size distributions.
+
+The analytical models in :mod:`repro.core` are parameterised by the
+distribution of flow sizes (in packets) observed on the monitored link
+during a measurement interval.  The paper works with the continuous
+Pareto distribution; this module defines a small abstract interface so
+that any distribution (continuous or discrete, fitted or synthetic) can
+be plugged into the ranking and detection engines.
+
+Two views of a distribution are used throughout the code base:
+
+* the *analytic* view: ``cdf``, ``ccdf``, ``pdf``, ``quantile``, ``mean``;
+* the *discretised* view: a finite support of flow sizes with associated
+  probabilities (:class:`DiscretizedFlowSizes`), which is what the
+  numerical engines actually iterate over.
+
+The discretisation is log-spaced by default because flow sizes are heavy
+tailed: a linear grid would either waste points on the body or truncate
+the tail that the ranking problem cares about.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DiscretizedFlowSizes:
+    """A finite approximation of a flow size distribution.
+
+    Attributes
+    ----------
+    sizes:
+        Strictly increasing array of flow sizes in packets (floats are
+        allowed; the Gaussian engines treat sizes as continuous).
+    probabilities:
+        Probability mass assigned to each size.  Sums to 1 (up to float
+        rounding).
+    """
+
+    sizes: np.ndarray
+    probabilities: np.ndarray
+
+    def __post_init__(self) -> None:
+        sizes = np.asarray(self.sizes, dtype=float)
+        probs = np.asarray(self.probabilities, dtype=float)
+        if sizes.ndim != 1 or probs.ndim != 1:
+            raise ValueError("sizes and probabilities must be 1-D arrays")
+        if sizes.shape != probs.shape:
+            raise ValueError("sizes and probabilities must have the same length")
+        if sizes.size == 0:
+            raise ValueError("discretisation must contain at least one point")
+        if np.any(np.diff(sizes) <= 0):
+            raise ValueError("sizes must be strictly increasing")
+        if np.any(probs < -1e-12):
+            raise ValueError("probabilities must be non-negative")
+        total = float(probs.sum())
+        if not np.isclose(total, 1.0, atol=1e-6):
+            raise ValueError(f"probabilities must sum to 1, got {total}")
+        object.__setattr__(self, "sizes", sizes)
+        object.__setattr__(self, "probabilities", np.clip(probs, 0.0, None))
+
+    @property
+    def mean(self) -> float:
+        """Mean flow size of the discretised distribution."""
+        return float(np.dot(self.sizes, self.probabilities))
+
+    @property
+    def num_points(self) -> int:
+        """Number of support points."""
+        return int(self.sizes.size)
+
+    def ccdf(self) -> np.ndarray:
+        """Complementary CDF ``P{S >= size_i}`` aligned with ``sizes``.
+
+        This is the inclusive tail used by the order-statistics terms of
+        the ranking model (a flow "larger than" a top flow of size ``i``
+        means size strictly greater; see
+        :meth:`strict_tail`).
+        """
+        return np.cumsum(self.probabilities[::-1])[::-1]
+
+    def strict_tail(self) -> np.ndarray:
+        """``P{S > size_i}`` for each support point."""
+        inclusive = self.ccdf()
+        return inclusive - self.probabilities
+
+    def truncate(self, max_size: float) -> "DiscretizedFlowSizes":
+        """Return a copy truncated to sizes ``<= max_size`` (renormalised)."""
+        mask = self.sizes <= max_size
+        if not np.any(mask):
+            raise ValueError("truncation removed every support point")
+        probs = self.probabilities[mask]
+        return DiscretizedFlowSizes(self.sizes[mask], probs / probs.sum())
+
+
+class FlowSizeDistribution(abc.ABC):
+    """Abstract distribution of flow sizes in packets.
+
+    Concrete subclasses model flow sizes as positive random variables.
+    Sizes may be interpreted either as continuous (for the Gaussian
+    ranking engine) or rounded to integers (for trace generation and the
+    exact binomial model).
+    """
+
+    #: Whether the distribution has integer support.
+    is_discrete: bool = False
+
+    @property
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Mean flow size in packets."""
+
+    @abc.abstractmethod
+    def cdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        """``P{S <= x}``."""
+
+    @abc.abstractmethod
+    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+        """Inverse CDF."""
+
+    @abc.abstractmethod
+    def pdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        """Probability density (or mass for discrete distributions)."""
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` i.i.d. flow sizes (continuous, not rounded)."""
+
+    # ------------------------------------------------------------------
+    # Derived helpers
+    # ------------------------------------------------------------------
+    def ccdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        """``P{S > x}``."""
+        return 1.0 - self.cdf(x)
+
+    def sample_packets(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` flow sizes rounded to whole packets (at least 1)."""
+        raw = np.asarray(self.sample(n, rng), dtype=float)
+        return np.maximum(np.rint(raw), 1.0).astype(np.int64)
+
+    def discretize(
+        self,
+        num_points: int = 400,
+        tail_probability: float = 1e-9,
+        min_size: float = 1.0,
+    ) -> DiscretizedFlowSizes:
+        """Approximate the distribution on a log-spaced grid.
+
+        Parameters
+        ----------
+        num_points:
+            Number of support points of the approximation.
+        tail_probability:
+            The grid extends up to the ``1 - tail_probability`` quantile.
+            The residual tail mass is folded into the last point so that
+            the approximation still integrates to one.
+        min_size:
+            Smallest size represented (1 packet by default).
+
+        Returns
+        -------
+        DiscretizedFlowSizes
+            Support points (bin midpoints in log space) with the
+            probability mass of each bin.
+        """
+        if num_points < 2:
+            raise ValueError("num_points must be at least 2")
+        if not 0.0 < tail_probability < 1.0:
+            raise ValueError("tail_probability must be in (0, 1)")
+        lower = max(float(min_size), float(self.quantile(1e-12)))
+        upper = float(self.quantile(1.0 - tail_probability))
+        if upper <= lower:
+            upper = lower * 10.0
+        edges = np.logspace(np.log10(lower), np.log10(upper), num_points + 1)
+        cdf_edges = np.asarray(self.cdf(edges), dtype=float)
+        probs = np.diff(cdf_edges)
+        # Mass below the first edge goes to the first bin, mass above the
+        # last edge goes to the last bin, so the grid covers everything.
+        probs[0] += cdf_edges[0]
+        probs[-1] += 1.0 - cdf_edges[-1]
+        probs = np.clip(probs, 0.0, None)
+        midpoints = np.sqrt(edges[:-1] * edges[1:])
+        total = probs.sum()
+        if total <= 0.0:
+            raise ValueError("discretisation produced zero total mass")
+        return DiscretizedFlowSizes(midpoints, probs / total)
+
+
+__all__ = ["FlowSizeDistribution", "DiscretizedFlowSizes"]

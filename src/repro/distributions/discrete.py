@@ -1,0 +1,135 @@
+"""Arbitrary discrete flow size distributions.
+
+The exact ranking model of the paper (Eq. 1 and Eq. 3) is defined over a
+discrete probability mass function ``p_i = P{flow has i packets}``.  The
+:class:`DiscreteFlowSizes` class wraps such a pmf and exposes the common
+:class:`~repro.distributions.base.FlowSizeDistribution` interface so
+that the exact and Gaussian engines can be compared on identical inputs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .base import DiscretizedFlowSizes, FlowSizeDistribution
+
+
+class DiscreteFlowSizes(FlowSizeDistribution):
+    """A flow size distribution with explicit integer support.
+
+    Parameters
+    ----------
+    sizes:
+        Flow sizes in packets (positive integers, strictly increasing or
+        given in any order — they are sorted internally).
+    probabilities:
+        Probability of each size.  Normalised internally.
+    """
+
+    is_discrete = True
+
+    def __init__(self, sizes: Sequence[int], probabilities: Sequence[float]) -> None:
+        sizes_arr = np.asarray(sizes, dtype=np.int64)
+        probs_arr = np.asarray(probabilities, dtype=float)
+        if sizes_arr.ndim != 1 or probs_arr.ndim != 1:
+            raise ValueError("sizes and probabilities must be 1-D")
+        if sizes_arr.shape != probs_arr.shape:
+            raise ValueError("sizes and probabilities must have the same length")
+        if sizes_arr.size == 0:
+            raise ValueError("at least one size is required")
+        if np.any(sizes_arr < 1):
+            raise ValueError("flow sizes must be at least 1 packet")
+        if np.any(probs_arr < 0):
+            raise ValueError("probabilities must be non-negative")
+        total = probs_arr.sum()
+        if total <= 0:
+            raise ValueError("probabilities must not all be zero")
+        order = np.argsort(sizes_arr)
+        sizes_arr = sizes_arr[order]
+        probs_arr = probs_arr[order] / total
+        if np.any(np.diff(sizes_arr) == 0):
+            # Merge duplicate sizes.
+            unique, inverse = np.unique(sizes_arr, return_inverse=True)
+            merged = np.zeros(unique.size)
+            np.add.at(merged, inverse, probs_arr)
+            sizes_arr, probs_arr = unique, merged
+        self._sizes = sizes_arr
+        self._probs = probs_arr
+
+    @classmethod
+    def from_mapping(cls, pmf: Mapping[int, float]) -> "DiscreteFlowSizes":
+        """Build from a ``{size: probability}`` mapping."""
+        if not pmf:
+            raise ValueError("pmf must not be empty")
+        sizes = list(pmf.keys())
+        probs = [pmf[s] for s in sizes]
+        return cls(sizes, probs)
+
+    # ------------------------------------------------------------------
+    @property
+    def support(self) -> np.ndarray:
+        """The integer sizes carrying probability mass."""
+        return self._sizes.copy()
+
+    @property
+    def pmf_values(self) -> np.ndarray:
+        """Probability of each support point."""
+        return self._probs.copy()
+
+    @property
+    def mean(self) -> float:
+        return float(np.dot(self._sizes, self._probs))
+
+    def pmf(self, size: int) -> float:
+        """``P{S == size}``."""
+        idx = np.searchsorted(self._sizes, size)
+        if idx < self._sizes.size and self._sizes[idx] == size:
+            return float(self._probs[idx])
+        return 0.0
+
+    def pdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        x_arr = np.atleast_1d(np.asarray(x, dtype=float))
+        out = np.zeros_like(x_arr)
+        for i, value in enumerate(x_arr):
+            out[i] = self.pmf(int(round(value)))
+        return out if isinstance(x, np.ndarray) else float(out[0])
+
+    def cdf(self, x: np.ndarray | float) -> np.ndarray | float:
+        x_arr = np.asarray(x, dtype=float)
+        cumulative = np.cumsum(self._probs)
+        idx = np.searchsorted(self._sizes, x_arr, side="right")
+        out = np.where(idx > 0, cumulative[np.maximum(idx - 1, 0)], 0.0)
+        return out if isinstance(x, np.ndarray) else float(out)
+
+    def quantile(self, q: np.ndarray | float) -> np.ndarray | float:
+        q_arr = np.asarray(q, dtype=float)
+        if np.any((q_arr < 0.0) | (q_arr > 1.0)):
+            raise ValueError("quantile levels must lie in [0, 1]")
+        cumulative = np.cumsum(self._probs)
+        idx = np.searchsorted(cumulative, np.clip(q_arr, 0.0, cumulative[-1]), side="left")
+        idx = np.minimum(idx, self._sizes.size - 1)
+        out = self._sizes[idx].astype(float)
+        return out if isinstance(q, np.ndarray) else float(out)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return rng.choice(self._sizes, size=n, p=self._probs).astype(float)
+
+    def discretize(
+        self,
+        num_points: int = 400,
+        tail_probability: float = 1e-9,
+        min_size: float = 1.0,
+    ) -> DiscretizedFlowSizes:
+        """Return the exact support (already discrete, so no approximation)."""
+        del num_points, tail_probability, min_size
+        return DiscretizedFlowSizes(self._sizes.astype(float), self._probs.copy())
+
+    def __repr__(self) -> str:
+        return f"DiscreteFlowSizes(num_sizes={self._sizes.size}, mean={self.mean:.2f})"
+
+
+__all__ = ["DiscreteFlowSizes"]

@@ -1,0 +1,94 @@
+"""The "square root condition" of Section 4 of the paper.
+
+The paper shows that sampling-based ranking of the largest flows gets
+*easier* as flows get larger only when the gap between consecutive large
+flows grows faster than the square root of their size.  In terms of the
+flow size CDF ``y = F(x)`` this means ``dx/dy`` must grow faster than
+``sqrt(x)`` at the tail, i.e. ``g(x) = 1 / (f(x) * sqrt(x))`` must be
+increasing for large ``x`` (``f`` is the density).
+
+This module checks the condition numerically for any
+:class:`~repro.distributions.base.FlowSizeDistribution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import FlowSizeDistribution
+
+
+@dataclass(frozen=True)
+class SqrtConditionReport:
+    """Result of a square-root-condition check.
+
+    Attributes
+    ----------
+    satisfied_at_tail:
+        Whether the condition holds over the examined tail region.
+    fraction_increasing:
+        Fraction of examined grid intervals where ``1/(f(x) sqrt(x))``
+        increases.
+    sizes:
+        The grid of sizes examined.
+    growth_ratio:
+        The value of ``1 / (f(x) * sqrt(x))`` on the grid, up to a
+        multiplicative constant.
+    """
+
+    satisfied_at_tail: bool
+    fraction_increasing: float
+    sizes: np.ndarray
+    growth_ratio: np.ndarray
+
+
+def check_sqrt_condition(
+    distribution: FlowSizeDistribution,
+    tail_quantile: float = 0.9,
+    upper_quantile: float = 1.0 - 1e-6,
+    num_points: int = 200,
+) -> SqrtConditionReport:
+    """Check the square-root condition on the tail of a distribution.
+
+    Parameters
+    ----------
+    distribution:
+        Flow size distribution to examine.
+    tail_quantile:
+        The check starts at this quantile (the paper's argument concerns
+        the tail, where the top-``t`` flows live).
+    upper_quantile:
+        The check stops at this quantile.
+    num_points:
+        Number of grid points (log-spaced in size).
+
+    Returns
+    -------
+    SqrtConditionReport
+    """
+    if not 0.0 < tail_quantile < upper_quantile < 1.0:
+        raise ValueError("need 0 < tail_quantile < upper_quantile < 1")
+    if num_points < 3:
+        raise ValueError("num_points must be at least 3")
+    lower = float(distribution.quantile(tail_quantile))
+    upper = float(distribution.quantile(upper_quantile))
+    if upper <= lower:
+        upper = lower * 10.0
+    sizes = np.logspace(np.log10(lower), np.log10(upper), num_points)
+    density = np.asarray(distribution.pdf(sizes), dtype=float)
+    density = np.maximum(density, 1e-300)
+    growth = 1.0 / (density * np.sqrt(sizes))
+    diffs = np.diff(growth)
+    increasing = diffs > 0
+    fraction = float(np.mean(increasing))
+    return SqrtConditionReport(
+        satisfied_at_tail=bool(fraction >= 0.95),
+        fraction_increasing=fraction,
+        sizes=sizes,
+        growth_ratio=growth,
+    )
+
+
+__all__ = ["check_sqrt_condition", "SqrtConditionReport"]

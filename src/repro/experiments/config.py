@@ -1,0 +1,92 @@
+"""Paper parameter sets used by the per-figure experiment drivers.
+
+All numbers come from Section 6 of the paper (which itself takes them
+from measurements of the Sprint IP backbone published in [1]):
+
+* 5-tuple flows: mean size 4.8 KB (9.6 packets of 500 bytes), flow
+  arrival rate 2360 flows/s, hence N = 0.7 M flows per 5-minute
+  measurement interval;
+* /24 destination-prefix flows: mean size 16.6 KB (33.2 packets), 350
+  prefixes/s, hence N = 0.1 M flows per 5-minute interval;
+* Pareto flow size distribution with shape 1.5 unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..distributions.pareto import ParetoFlowSizes
+from ..flows.packets import DEFAULT_PACKET_SIZE_BYTES
+
+#: Mean flow sizes in packets for the two flow definitions.
+FIVE_TUPLE_MEAN_PACKETS = 4800.0 / DEFAULT_PACKET_SIZE_BYTES
+PREFIX_MEAN_PACKETS = 16600.0 / DEFAULT_PACKET_SIZE_BYTES
+
+#: Total number of flows in a 5-minute measurement interval.
+FIVE_TUPLE_TOTAL_FLOWS = 700_000
+PREFIX_TOTAL_FLOWS = 100_000
+
+#: Default Pareto shape used by the paper.
+DEFAULT_PARETO_SHAPE = 1.5
+
+#: Values of the top-t sweep (Figs. 4, 5, 10, 11).
+TOP_T_SWEEP = (1, 2, 5, 10, 25)
+
+#: Values of the Pareto shape sweep (Figs. 6, 7).
+BETA_SWEEP = (3.0, 2.5, 2.0, 1.5, 1.2)
+
+#: Multipliers of the N sweep (Figs. 8, 9).
+TOTAL_FLOWS_FACTORS = (0.2, 0.5, 1.0, 2.5, 4.0, 5.0)
+
+#: Sampling-rate sweep of the analytical figures (0.1% to 50%).
+DEFAULT_RATE_SWEEP = tuple(np.logspace(np.log10(0.001), np.log10(0.5), 25))
+
+
+@dataclass(frozen=True)
+class FlowDefinitionParameters:
+    """Model parameters attached to one flow definition."""
+
+    name: str
+    mean_packets: float
+    total_flows: int
+
+    def pareto(self, shape: float = DEFAULT_PARETO_SHAPE) -> ParetoFlowSizes:
+        """Pareto flow size distribution with the definition's mean size."""
+        return ParetoFlowSizes.from_mean(mean=self.mean_packets, shape=shape)
+
+    def scaled_total_flows(self, factor: float) -> int:
+        """Total number of flows after applying an N-sweep factor."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return max(2, int(round(self.total_flows * factor)))
+
+
+FIVE_TUPLE = FlowDefinitionParameters(
+    name="5-tuple",
+    mean_packets=FIVE_TUPLE_MEAN_PACKETS,
+    total_flows=FIVE_TUPLE_TOTAL_FLOWS,
+)
+
+PREFIX_24 = FlowDefinitionParameters(
+    name="/24 destination prefix",
+    mean_packets=PREFIX_MEAN_PACKETS,
+    total_flows=PREFIX_TOTAL_FLOWS,
+)
+
+
+__all__ = [
+    "FlowDefinitionParameters",
+    "FIVE_TUPLE",
+    "PREFIX_24",
+    "FIVE_TUPLE_MEAN_PACKETS",
+    "PREFIX_MEAN_PACKETS",
+    "FIVE_TUPLE_TOTAL_FLOWS",
+    "PREFIX_TOTAL_FLOWS",
+    "DEFAULT_PARETO_SHAPE",
+    "TOP_T_SWEEP",
+    "BETA_SWEEP",
+    "TOTAL_FLOWS_FACTORS",
+    "DEFAULT_RATE_SWEEP",
+]

@@ -1,0 +1,82 @@
+"""Text rendering of experiment results.
+
+The benchmark harness and the examples use these helpers to print the
+series behind each figure in a compact, paper-comparable form: one row
+per (series, sampling rate) with the metric value and whether it passes
+the paper's "fewer than one swapped pair" criterion.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from ..simulation.results import SimulationResult
+from .figures import FigureResult
+
+
+def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def render_figure_result(result: FigureResult, max_points: int = 8) -> str:
+    """Render an analytical figure's series as an aligned text table."""
+    lines = [f"{result.figure}: {result.title}", f"x axis: {result.x_label}"]
+    indices = np.linspace(0, result.x_values.size - 1, min(max_points, result.x_values.size))
+    indices = np.unique(indices.astype(int))
+    header = ["series"] + [f"{result.x_values[i]:.3g}" for i in indices]
+    widths = [max(24, len(header[0]))] + [10] * (len(header) - 1)
+    lines.append(_format_row(header, widths))
+    for label, values in result.series.items():
+        row = [label] + [f"{values[i]:.3g}" for i in indices]
+        lines.append(_format_row(row, widths))
+    return "\n".join(lines)
+
+
+def render_simulation_result(result: SimulationResult) -> str:
+    """Render a trace-driven simulation result as an aligned text table."""
+    lines = [
+        (
+            f"trace simulation: {result.flow_definition}, bin = {result.bin_duration:.0f}s, "
+            f"top {result.top_t} flows, {result.num_runs} runs, "
+            f"{result.flows_per_bin:.0f} flows/bin"
+        )
+    ]
+    header = ["problem", "rate", "mean swapped pairs", "mean+std < 1 (bins %)"]
+    widths = [10, 8, 20, 22]
+    lines.append(_format_row(header, widths))
+    for problem, store in (("ranking", result.ranking), ("detection", result.detection)):
+        for rate in sorted(store):
+            series = store[rate]
+            lines.append(
+                _format_row(
+                    [
+                        problem,
+                        f"{rate * 100:.3g}%",
+                        f"{series.overall_mean:.3g}",
+                        f"{series.fraction_of_bins_acceptable() * 100:.0f}%",
+                    ],
+                    widths,
+                )
+            )
+    return "\n".join(lines)
+
+
+def acceptable_rate_threshold(result: FigureResult, series_label: str) -> float | None:
+    """Smallest sampled rate (in %) at which a series drops below one swapped pair.
+
+    Returns ``None`` when the series never reaches the acceptance
+    threshold within the sweep — the situation the paper highlights for
+    large t or light-tailed distributions.
+    """
+    if series_label not in result.series:
+        raise KeyError(f"unknown series {series_label!r}")
+    values = result.series[series_label]
+    below = np.flatnonzero(values < 1.0)
+    if below.size == 0:
+        return None
+    return float(result.x_values[below[0]])
+
+
+__all__ = ["render_figure_result", "render_simulation_result", "acceptable_rate_threshold"]

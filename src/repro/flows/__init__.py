@@ -1,0 +1,39 @@
+"""Flow abstraction substrate: keys, packets, records, classification."""
+
+from .classifier import FlowClassifier
+from .keys import (
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    DestinationPrefixKeyPolicy,
+    FiveTuple,
+    FiveTupleKeyPolicy,
+    FlowKeyPolicy,
+    int_to_ip,
+    ip_to_int,
+    prefix_of,
+)
+from .packets import DEFAULT_PACKET_SIZE_BYTES, Packet, PacketBatch
+from .records import FlowRecord, FlowSummary
+from .table import BinnedFlowTable, FlowBin
+
+__all__ = [
+    "FiveTuple",
+    "FlowKeyPolicy",
+    "FiveTupleKeyPolicy",
+    "DestinationPrefixKeyPolicy",
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_of",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "Packet",
+    "PacketBatch",
+    "DEFAULT_PACKET_SIZE_BYTES",
+    "FlowRecord",
+    "FlowSummary",
+    "FlowClassifier",
+    "BinnedFlowTable",
+    "FlowBin",
+]

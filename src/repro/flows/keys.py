@@ -1,0 +1,184 @@
+"""Flow keys and flow definitions.
+
+The paper studies two flow definitions (Section 6):
+
+* the usual **5-tuple** (protocol, source/destination IP address,
+  source/destination port);
+* the **/24 destination prefix**, which aggregates all packets sent
+  towards the same /24 subnet.
+
+This module provides an immutable :class:`FiveTuple` key, prefix
+aggregation helpers, and :class:`FlowKeyPolicy` objects that map a
+packet (or a 5-tuple) to the flow identifier used for classification.
+IPv4 addresses are carried as unsigned 32-bit integers internally, with
+helpers to convert from and to dotted-quad notation.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+#: Protocol numbers for the transports that dominate backbone traffic.
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMP = 1
+
+_MAX_IPV4 = 0xFFFFFFFF
+_MAX_PORT = 0xFFFF
+
+
+def ip_to_int(address: str) -> int:
+    """Convert a dotted-quad IPv4 address to an unsigned 32-bit integer.
+
+    >>> ip_to_int("10.0.0.1")
+    167772161
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert an unsigned 32-bit integer to dotted-quad notation.
+
+    >>> int_to_ip(167772161)
+    '10.0.0.1'
+    """
+    if not 0 <= value <= _MAX_IPV4:
+        raise ValueError(f"value out of IPv4 range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def prefix_of(address: int, prefix_length: int = 24) -> int:
+    """Return the network prefix of an address as an integer.
+
+    >>> int_to_ip(prefix_of(ip_to_int("192.168.17.33"), 24))
+    '192.168.17.0'
+    """
+    if not 0 <= prefix_length <= 32:
+        raise ValueError(f"prefix_length must be in [0, 32], got {prefix_length}")
+    if not 0 <= address <= _MAX_IPV4:
+        raise ValueError(f"address out of IPv4 range: {address}")
+    if prefix_length == 0:
+        return 0
+    mask = (_MAX_IPV4 << (32 - prefix_length)) & _MAX_IPV4
+    return address & mask
+
+
+@dataclass(frozen=True, slots=True)
+class FiveTuple:
+    """The classic 5-tuple flow identifier.
+
+    Addresses are unsigned 32-bit integers (see :func:`ip_to_int`);
+    ports are 16-bit integers; ``protocol`` is the IP protocol number.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int = PROTO_TCP
+
+    def __post_init__(self) -> None:
+        for name, value, maximum in (
+            ("src_ip", self.src_ip, _MAX_IPV4),
+            ("dst_ip", self.dst_ip, _MAX_IPV4),
+            ("src_port", self.src_port, _MAX_PORT),
+            ("dst_port", self.dst_port, _MAX_PORT),
+            ("protocol", self.protocol, 255),
+        ):
+            if not 0 <= value <= maximum:
+                raise ValueError(f"{name} out of range: {value}")
+
+    @classmethod
+    def from_strings(
+        cls,
+        src_ip: str,
+        dst_ip: str,
+        src_port: int,
+        dst_port: int,
+        protocol: int = PROTO_TCP,
+    ) -> "FiveTuple":
+        """Build a 5-tuple from dotted-quad addresses."""
+        return cls(ip_to_int(src_ip), ip_to_int(dst_ip), src_port, dst_port, protocol)
+
+    def destination_prefix(self, prefix_length: int = 24) -> int:
+        """The destination prefix this flow aggregates into."""
+        return prefix_of(self.dst_ip, prefix_length)
+
+    def reversed(self) -> "FiveTuple":
+        """The 5-tuple of the reverse direction (useful for bidirectional flows)."""
+        return FiveTuple(
+            src_ip=self.dst_ip,
+            dst_ip=self.src_ip,
+            src_port=self.dst_port,
+            dst_port=self.src_port,
+            protocol=self.protocol,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{int_to_ip(self.src_ip)}:{self.src_port} -> "
+            f"{int_to_ip(self.dst_ip)}:{self.dst_port} proto={self.protocol}"
+        )
+
+
+class FlowKeyPolicy(abc.ABC):
+    """Maps a 5-tuple to the flow identifier used for classification."""
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def key_of(self, five_tuple: FiveTuple) -> object:
+        """Flow identifier of a packet carrying this 5-tuple."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class FiveTupleKeyPolicy(FlowKeyPolicy):
+    """Each distinct 5-tuple is its own flow (the paper's first definition)."""
+
+    name = "5-tuple"
+
+    def key_of(self, five_tuple: FiveTuple) -> FiveTuple:
+        return five_tuple
+
+
+class DestinationPrefixKeyPolicy(FlowKeyPolicy):
+    """Flows are aggregated by destination prefix (the paper's /24 definition)."""
+
+    def __init__(self, prefix_length: int = 24) -> None:
+        if not 0 <= prefix_length <= 32:
+            raise ValueError(f"prefix_length must be in [0, 32], got {prefix_length}")
+        self.prefix_length = int(prefix_length)
+        self.name = f"/{self.prefix_length} destination prefix"
+
+    def key_of(self, five_tuple: FiveTuple) -> int:
+        return prefix_of(five_tuple.dst_ip, self.prefix_length)
+
+    def __repr__(self) -> str:
+        return f"DestinationPrefixKeyPolicy(prefix_length={self.prefix_length})"
+
+
+__all__ = [
+    "FiveTuple",
+    "FlowKeyPolicy",
+    "FiveTupleKeyPolicy",
+    "DestinationPrefixKeyPolicy",
+    "ip_to_int",
+    "int_to_ip",
+    "prefix_of",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+]

@@ -1,0 +1,87 @@
+"""Flow records and flow statistics.
+
+A :class:`FlowRecord` accumulates the per-flow counters a monitor keeps
+while classifying packets (packet count, byte count, first/last packet
+timestamps).  :class:`FlowSummary` is the immutable result exported at
+the end of a measurement interval, the unit the ranking and detection
+metrics operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FlowRecord:
+    """Mutable per-flow counters maintained during classification."""
+
+    key: object
+    packets: int = 0
+    bytes: int = 0
+    first_seen: float = field(default=float("inf"))
+    last_seen: float = field(default=float("-inf"))
+
+    def update(self, timestamp: float, size_bytes: int) -> None:
+        """Account one packet of this flow."""
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        if timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {timestamp}")
+        self.packets += 1
+        self.bytes += int(size_bytes)
+        if timestamp < self.first_seen:
+            self.first_seen = timestamp
+        if timestamp > self.last_seen:
+            self.last_seen = timestamp
+
+    @property
+    def duration(self) -> float:
+        """Time between the first and last accounted packet (0 for 1 packet)."""
+        if self.packets == 0:
+            return 0.0
+        return max(0.0, self.last_seen - self.first_seen)
+
+    def freeze(self) -> "FlowSummary":
+        """Export an immutable summary of the record."""
+        if self.packets == 0:
+            raise ValueError("cannot freeze a flow record with no packets")
+        return FlowSummary(
+            key=self.key,
+            packets=self.packets,
+            bytes=self.bytes,
+            first_seen=self.first_seen,
+            last_seen=self.last_seen,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FlowSummary:
+    """Immutable per-flow statistics for one measurement interval."""
+
+    key: object
+    packets: int
+    bytes: int
+    first_seen: float
+    last_seen: float
+
+    def __post_init__(self) -> None:
+        if self.packets < 1:
+            raise ValueError("a flow summary must contain at least one packet")
+        if self.bytes < 1:
+            raise ValueError("a flow summary must contain at least one byte")
+        if self.last_seen < self.first_seen:
+            raise ValueError("last_seen must not precede first_seen")
+
+    @property
+    def duration(self) -> float:
+        """Flow duration within the interval, in seconds."""
+        return self.last_seen - self.first_seen
+
+    @property
+    def mean_packet_size(self) -> float:
+        """Average packet size of the flow in bytes."""
+        return self.bytes / self.packets
+
+
+__all__ = ["FlowRecord", "FlowSummary"]

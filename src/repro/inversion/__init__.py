@@ -1,0 +1,25 @@
+"""Aggregate and per-flow inversion estimators from prior work."""
+
+from .counts import (
+    AggregateEstimates,
+    expected_sampled_flows,
+    invert_aggregates,
+    missed_flow_probability,
+)
+from .size import (
+    FlowSizeEstimate,
+    estimate_flow_size,
+    rate_for_relative_error,
+    relative_error_bound,
+)
+
+__all__ = [
+    "AggregateEstimates",
+    "invert_aggregates",
+    "missed_flow_probability",
+    "expected_sampled_flows",
+    "FlowSizeEstimate",
+    "estimate_flow_size",
+    "relative_error_bound",
+    "rate_for_relative_error",
+]

@@ -1,0 +1,116 @@
+"""Aggregate inversion estimators (related work, Section 2 of the paper).
+
+Duffield, Lund and Thorup's estimators recover *aggregate* flow
+statistics from packet-sampled traffic: the total number of flows and
+the mean flow size in the original stream.  They are included as
+baselines to make the paper's contrast concrete — aggregate inversion
+works at low sampling rates while per-flow ranking does not.
+
+Notation: sampling rate ``p``; the sampled stream contains ``m`` flow
+records of which ``m1`` have exactly one sampled packet, and ``k``
+sampled packets in total.  Assuming independent packet sampling and no
+flow splitting,
+
+* an (approximately) unbiased estimate of the number of original flows
+  that were *seen* is ``m`` itself, but many original flows are missed;
+  Duffield et al. estimate the total number of original flows as
+  ``N_hat = m + m1 * (1 - p) / p`` — each single-packet sampled flow
+  stands in for the ``(1-p)/p`` flows whose single sampled packet was
+  not drawn;
+* the mean original flow size is estimated as ``k / (p * N_hat)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AggregateEstimates:
+    """Aggregate statistics of the original stream inverted from samples."""
+
+    sampling_rate: float
+    sampled_flows: int
+    sampled_single_packet_flows: int
+    sampled_packets: int
+    estimated_total_flows: float
+    estimated_total_packets: float
+    estimated_mean_flow_size: float
+
+
+def invert_aggregates(
+    sampled_flow_sizes: Sequence[int],
+    sampling_rate: float,
+) -> AggregateEstimates:
+    """Estimate original aggregate statistics from sampled per-flow counts.
+
+    Parameters
+    ----------
+    sampled_flow_sizes:
+        Sampled packet count of every flow *present* in the sampled
+        stream (all values must be at least 1).
+    sampling_rate:
+        Packet sampling probability ``p``.
+    """
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ValueError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+    sizes = np.asarray(list(sampled_flow_sizes), dtype=np.int64)
+    if sizes.ndim != 1:
+        raise ValueError("sampled_flow_sizes must be 1-D")
+    if sizes.size and np.any(sizes < 1):
+        raise ValueError("sampled flows must contain at least one packet each")
+
+    m = int(sizes.size)
+    m1 = int(np.count_nonzero(sizes == 1))
+    k = int(sizes.sum())
+    p = float(sampling_rate)
+
+    estimated_flows = m + m1 * (1.0 - p) / p
+    estimated_packets = k / p
+    mean_size = estimated_packets / estimated_flows if estimated_flows > 0 else 0.0
+    return AggregateEstimates(
+        sampling_rate=p,
+        sampled_flows=m,
+        sampled_single_packet_flows=m1,
+        sampled_packets=k,
+        estimated_total_flows=float(estimated_flows),
+        estimated_total_packets=float(estimated_packets),
+        estimated_mean_flow_size=float(mean_size),
+    )
+
+
+def missed_flow_probability(original_size: int, sampling_rate: float) -> float:
+    """Probability that a flow of a given size is completely missed.
+
+    ``(1 - p) ** S`` — the quantity that makes inversion of the flow
+    size distribution ill-posed at low rates (Section 2).
+    """
+    if original_size < 1:
+        raise ValueError("original_size must be at least 1")
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ValueError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+    return float((1.0 - sampling_rate) ** original_size)
+
+
+def expected_sampled_flows(
+    original_sizes: Sequence[int],
+    sampling_rate: float,
+) -> float:
+    """Expected number of original flows that appear in the sampled stream."""
+    sizes = np.asarray(list(original_sizes), dtype=float)
+    if sizes.size and np.any(sizes < 1):
+        raise ValueError("original flow sizes must be at least 1 packet")
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ValueError(f"sampling_rate must be in (0, 1], got {sampling_rate}")
+    return float(np.sum(1.0 - (1.0 - sampling_rate) ** sizes))
+
+
+__all__ = [
+    "AggregateEstimates",
+    "invert_aggregates",
+    "missed_flow_probability",
+    "expected_sampled_flows",
+]

@@ -1,0 +1,20 @@
+"""Packet and flow sampling strategies, plus heavy-hitter baselines."""
+
+from .base import PacketSampler
+from .bernoulli import BernoulliSampler
+from .periodic import PeriodicSampler
+from .sample_and_hold import SampleAndHold
+from .sketch import MultistageFilter
+from .smart import SampledFlowRecord, SmartFlowSampler
+from .stratified import HashFlowSampler
+
+__all__ = [
+    "PacketSampler",
+    "BernoulliSampler",
+    "PeriodicSampler",
+    "HashFlowSampler",
+    "SmartFlowSampler",
+    "SampledFlowRecord",
+    "SampleAndHold",
+    "MultistageFilter",
+]

@@ -1,0 +1,56 @@
+"""Packet sampler interface.
+
+A packet sampler decides, for every packet crossing the monitored link,
+whether the packet is kept ("sampled") or dropped.  The paper's analysis
+assumes independent random sampling with a constant probability; other
+strategies (periodic, hash-based flow sampling) are provided for the
+comparisons the paper discusses in its introduction and related work.
+
+Samplers expose two entry points:
+
+* :meth:`PacketSampler.sample_packet` for object-level streams;
+* :meth:`PacketSampler.sample_mask` for the vectorised simulation path,
+  which returns a boolean keep/drop mask for a whole
+  :class:`~repro.flows.packets.PacketBatch` at once.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..flows.packets import Packet, PacketBatch
+
+
+class PacketSampler(abc.ABC):
+    """Decides which packets of a stream are kept."""
+
+    #: Human-readable name used in reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def sample_packet(self, packet: Packet) -> bool:
+        """Return True when the packet must be kept."""
+
+    @abc.abstractmethod
+    def sample_mask(self, batch: PacketBatch) -> np.ndarray:
+        """Boolean keep-mask for every packet of the batch."""
+
+    @property
+    @abc.abstractmethod
+    def effective_rate(self) -> float:
+        """Long-run fraction of packets kept by the sampler."""
+
+    def sample_batch(self, batch: PacketBatch) -> PacketBatch:
+        """Return a new batch containing only the sampled packets."""
+        return batch.select(self.sample_mask(batch))
+
+    def reset(self) -> None:
+        """Clear any per-stream state (default: stateless)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rate={self.effective_rate:.4g})"
+
+
+__all__ = ["PacketSampler"]

@@ -1,0 +1,137 @@
+"""Measurement-interval binning of packet batches.
+
+The trace-driven simulations of Section 8 use the "binning" method: the
+packet stream is cut into fixed-length measurement intervals; flows are
+classified, ranked and reported independently within each bin (flows
+spanning a boundary are truncated).  This module pre-computes, for a
+packet batch and a flow definition, everything the per-run evaluation
+needs:
+
+* the contiguous packet index range of each bin (packets are sorted by
+  timestamp, so a bin is a slice);
+* the distinct flow groups appearing in the bin and their *original*
+  (unsampled) packet counts;
+* for every packet of the bin, the position of its group in the bin's
+  group array, so that a sampled-count vector is a single ``bincount``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..flows.packets import PacketBatch
+
+
+@dataclass(frozen=True)
+class BinLayout:
+    """Pre-computed structure of one measurement interval.
+
+    Attributes
+    ----------
+    index:
+        Bin number (0-based).
+    start_time, end_time:
+        Bin boundaries in seconds.
+    packet_slice:
+        ``slice`` of the packet batch covered by this bin.
+    group_keys:
+        Distinct flow group identifiers appearing in the bin.
+    original_counts:
+        Unsampled packet count of each group (aligned with ``group_keys``).
+    packet_group_positions:
+        For every packet of the bin, the index of its group in
+        ``group_keys``; ``np.bincount`` of a boolean-masked view of this
+        array yields the sampled counts.
+    """
+
+    index: int
+    start_time: float
+    end_time: float
+    packet_slice: slice
+    group_keys: np.ndarray
+    original_counts: np.ndarray
+    packet_group_positions: np.ndarray
+
+    @property
+    def num_flows(self) -> int:
+        """Number of distinct flows (groups) observed in the bin."""
+        return int(self.group_keys.size)
+
+    @property
+    def num_packets(self) -> int:
+        """Number of packets observed in the bin before sampling."""
+        return int(self.packet_group_positions.size)
+
+    def sampled_counts(self, keep_mask_for_bin: np.ndarray) -> np.ndarray:
+        """Per-group sampled packet counts given a keep mask for the bin's packets."""
+        mask = np.asarray(keep_mask_for_bin, dtype=bool)
+        if mask.size != self.num_packets:
+            raise ValueError("keep mask must have one entry per packet of the bin")
+        return np.bincount(
+            self.packet_group_positions[mask], minlength=self.num_flows
+        ).astype(np.int64)
+
+
+def build_bin_layouts(
+    batch: PacketBatch,
+    group_of_flow: np.ndarray,
+    bin_duration: float,
+) -> list[BinLayout]:
+    """Cut a packet batch into measurement intervals.
+
+    Parameters
+    ----------
+    batch:
+        Packet batch sorted by timestamp (as produced by
+        :func:`repro.traces.expansion.expand_to_packets`).
+    group_of_flow:
+        Array mapping a flow id (as used in ``batch.flow_ids``) to the
+        flow group identifier under the chosen flow definition.
+    bin_duration:
+        Measurement interval length in seconds.
+
+    Returns
+    -------
+    list[BinLayout]
+        One layout per non-empty bin, ordered by time.
+    """
+    if bin_duration <= 0:
+        raise ValueError(f"bin_duration must be positive, got {bin_duration}")
+    groups = np.asarray(group_of_flow)
+    if groups.ndim != 1:
+        raise ValueError("group_of_flow must be a 1-D array")
+    if len(batch) == 0:
+        return []
+    if int(batch.flow_ids.max()) >= groups.size:
+        raise ValueError("group_of_flow is too short for the flow ids present in the batch")
+
+    bin_of_packet = np.floor_divide(batch.timestamps, bin_duration).astype(np.int64)
+    boundaries = np.flatnonzero(np.diff(bin_of_packet)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(batch)]))
+
+    layouts: list[BinLayout] = []
+    packet_groups_all = groups[batch.flow_ids]
+    for lo, hi in zip(starts, ends):
+        bin_index = int(bin_of_packet[lo])
+        packet_groups = packet_groups_all[lo:hi]
+        group_keys, positions, counts = np.unique(
+            packet_groups, return_inverse=True, return_counts=True
+        )
+        layouts.append(
+            BinLayout(
+                index=bin_index,
+                start_time=bin_index * bin_duration,
+                end_time=(bin_index + 1) * bin_duration,
+                packet_slice=slice(int(lo), int(hi)),
+                group_keys=group_keys,
+                original_counts=counts.astype(np.int64),
+                packet_group_positions=positions.astype(np.int64),
+            )
+        )
+    return layouts
+
+
+__all__ = ["BinLayout", "build_bin_layouts"]

@@ -1,0 +1,119 @@
+"""Vectorised swapped-pair metrics for trace-driven simulations.
+
+The reference implementations in :mod:`repro.core.metrics` are written
+for clarity (explicit double loops over flow pairs); a 30-minute trace
+with thousands of flows per bin, 30 sampling runs and several sampling
+rates needs something faster.  This module computes the same ranking and
+detection metrics with NumPy, looping only over the ``t`` top flows.
+
+The pair-swapping convention matches :mod:`repro.core.metrics` exactly,
+and the test suite cross-checks the two implementations on random
+inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SwappedPairCounts:
+    """Ranking and detection swapped-pair counts for one bin and one run."""
+
+    ranking: int
+    detection: int
+    top_t: int
+    num_flows: int
+
+
+def _top_indices(original: np.ndarray, top_t: int) -> np.ndarray:
+    """Indices of the true top-t flows, ties broken by index (stable)."""
+    order = np.lexsort((np.arange(original.size), -original))
+    return order[:top_t]
+
+
+def swapped_pair_counts(
+    original_counts: np.ndarray,
+    sampled_counts: np.ndarray,
+    top_t: int,
+) -> SwappedPairCounts:
+    """Count swapped pairs between original and sampled flow sizes.
+
+    Parameters
+    ----------
+    original_counts:
+        True flow sizes (packets) of every flow observed in the bin.
+    sampled_counts:
+        Sampled sizes of the same flows (0 when the flow was missed).
+    top_t:
+        Number of top flows of interest.  When the bin holds fewer than
+        ``top_t`` flows, all of them are treated as top flows.
+
+    Returns
+    -------
+    SwappedPairCounts
+        ``ranking`` counts pairs (true top flow, any other flow);
+        ``detection`` counts pairs (true top flow, flow outside the true
+        top list).
+    """
+    original = np.asarray(original_counts, dtype=np.int64)
+    sampled = np.asarray(sampled_counts, dtype=np.int64)
+    if original.shape != sampled.shape or original.ndim != 1:
+        raise ValueError("original and sampled counts must be 1-D arrays of equal length")
+    if original.size == 0:
+        return SwappedPairCounts(ranking=0, detection=0, top_t=0, num_flows=0)
+    if np.any(original < 1):
+        raise ValueError("original counts must be at least 1 packet")
+    t = int(min(max(top_t, 1), original.size))
+
+    top = _top_indices(original, t)
+    top_mask = np.zeros(original.size, dtype=bool)
+    top_mask[top] = True
+
+    total_swapped = 0  # pairs (top flow, any flow), ordered
+    top_top_swapped = 0  # pairs (top flow, top flow), ordered (counted twice)
+    for i in top:
+        o_i = original[i]
+        s_i = sampled[i]
+        different = original != o_i
+        swapped_diff = np.where(original < o_i, sampled >= s_i, s_i >= sampled)
+        swapped_equal = (sampled != s_i) | ((sampled == 0) & (s_i == 0))
+        swapped = np.where(different, swapped_diff, swapped_equal)
+        swapped[i] = False
+        total_swapped += int(swapped.sum())
+        top_top_swapped += int(swapped[top_mask].sum())
+
+    ranking = total_swapped - top_top_swapped // 2
+    detection = total_swapped - top_top_swapped
+    return SwappedPairCounts(
+        ranking=int(ranking),
+        detection=int(detection),
+        top_t=t,
+        num_flows=int(original.size),
+    )
+
+
+def ranking_pair_budget(num_flows: int, top_t: int) -> float:
+    """Total number of pairs the ranking metric considers."""
+    if num_flows < 1 or top_t < 1:
+        raise ValueError("num_flows and top_t must be positive")
+    t = min(top_t, num_flows)
+    return (2 * num_flows - t - 1) * t / 2.0
+
+
+def detection_pair_budget(num_flows: int, top_t: int) -> float:
+    """Total number of pairs the detection metric considers."""
+    if num_flows < 1 or top_t < 1:
+        raise ValueError("num_flows and top_t must be positive")
+    t = min(top_t, num_flows)
+    return float(t * (num_flows - t))
+
+
+__all__ = [
+    "SwappedPairCounts",
+    "swapped_pair_counts",
+    "ranking_pair_budget",
+    "detection_pair_budget",
+]

@@ -1,0 +1,142 @@
+"""Result containers for trace-driven simulations.
+
+A simulation run produces, for every sampling rate and every measurement
+interval (bin), the number of swapped pairs of each of the 30 (or
+``num_runs``) sampling realisations.  The containers below keep the raw
+per-run values and expose the per-bin mean and standard deviation that
+the paper plots (Figs. 12-16), plus convenience accessors used by the
+benchmarks and the experiment report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MetricSeries:
+    """Per-bin metric values for one sampling rate and one problem.
+
+    Attributes
+    ----------
+    problem:
+        ``"ranking"`` or ``"detection"``.
+    sampling_rate:
+        Packet sampling probability.
+    bin_start_times:
+        Start time of each measurement interval, in seconds.
+    values:
+        Array of shape ``(num_runs, num_bins)`` with the swapped-pair
+        counts of every run.
+    """
+
+    problem: str
+    sampling_rate: float
+    bin_start_times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=float)
+        times = np.asarray(self.bin_start_times, dtype=float)
+        if values.ndim != 2:
+            raise ValueError("values must have shape (num_runs, num_bins)")
+        if times.ndim != 1 or times.size != values.shape[1]:
+            raise ValueError("bin_start_times must have one entry per bin")
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "bin_start_times", times)
+
+    @property
+    def num_runs(self) -> int:
+        """Number of independent sampling runs."""
+        return int(self.values.shape[0])
+
+    @property
+    def num_bins(self) -> int:
+        """Number of measurement intervals."""
+        return int(self.values.shape[1])
+
+    @property
+    def mean(self) -> np.ndarray:
+        """Per-bin mean of the swapped-pair count over runs."""
+        return self.values.mean(axis=0)
+
+    @property
+    def std(self) -> np.ndarray:
+        """Per-bin standard deviation over runs."""
+        return self.values.std(axis=0, ddof=1) if self.num_runs > 1 else np.zeros(self.num_bins)
+
+    @property
+    def overall_mean(self) -> float:
+        """Mean of the metric over all bins and runs."""
+        return float(self.values.mean())
+
+    def fraction_of_bins_acceptable(self) -> float:
+        """Fraction of bins where mean + std stays below 1 (paper's criterion)."""
+        return float(np.mean((self.mean + self.std) < 1.0))
+
+
+@dataclass
+class SimulationResult:
+    """Full result of a trace-driven simulation.
+
+    Attributes
+    ----------
+    flow_definition:
+        Name of the flow definition used ("5-tuple", "/24 ...").
+    bin_duration:
+        Measurement interval length in seconds.
+    top_t:
+        Number of top flows evaluated.
+    num_runs:
+        Number of independent sampling runs per rate.
+    ranking, detection:
+        Mapping sampling rate -> :class:`MetricSeries`.
+    flows_per_bin:
+        Average number of flows per measurement interval (before
+        sampling); reported because the paper's analytical model keys on
+        this quantity.
+    """
+
+    flow_definition: str
+    bin_duration: float
+    top_t: int
+    num_runs: int
+    ranking: dict[float, MetricSeries] = field(default_factory=dict)
+    detection: dict[float, MetricSeries] = field(default_factory=dict)
+    flows_per_bin: float = 0.0
+
+    @property
+    def sampling_rates(self) -> list[float]:
+        """Sampling rates present in the result, in increasing order."""
+        return sorted(self.ranking.keys() | self.detection.keys())
+
+    def series(self, problem: str, sampling_rate: float) -> MetricSeries:
+        """Fetch the series of one problem at one sampling rate."""
+        store = self.ranking if problem == "ranking" else self.detection
+        if sampling_rate not in store:
+            raise KeyError(f"no {problem} series for sampling rate {sampling_rate}")
+        return store[sampling_rate]
+
+    def summary_rows(self) -> list[dict[str, float | str]]:
+        """Flat rows (one per problem and rate) convenient for text reports."""
+        rows: list[dict[str, float | str]] = []
+        for problem, store in (("ranking", self.ranking), ("detection", self.detection)):
+            for rate in sorted(store):
+                series = store[rate]
+                rows.append(
+                    {
+                        "problem": problem,
+                        "flow_definition": self.flow_definition,
+                        "bin_duration_s": self.bin_duration,
+                        "top_t": self.top_t,
+                        "sampling_rate": rate,
+                        "mean_swapped_pairs": series.overall_mean,
+                        "fraction_bins_acceptable": series.fraction_of_bins_acceptable(),
+                    }
+                )
+        return rows
+
+
+__all__ = ["MetricSeries", "SimulationResult"]

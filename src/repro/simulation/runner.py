@@ -1,0 +1,194 @@
+"""Trace-driven sampling simulation (Section 8 of the paper).
+
+The simulation pipeline mirrors the paper's methodology:
+
+1. take a flow-level trace (synthetic here; the paper used a Sprint
+   backbone trace) and expand it to a packet-level trace, placing each
+   flow's packets uniformly over the flow's lifetime;
+2. cut the packet stream into measurement intervals ("bins");
+3. for every sampling rate, run ``num_runs`` independent Bernoulli
+   sampling realisations of the whole stream;
+4. within every bin, classify original and sampled packets into flows
+   (5-tuple or /24 destination prefix) and count the swapped flow pairs
+   for the ranking and detection problems;
+5. report, per bin, the mean and standard deviation of the metric over
+   the sampling runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..flows.keys import FiveTupleKeyPolicy, FlowKeyPolicy
+from ..flows.packets import PacketBatch
+from ..traces.expansion import expand_to_packets
+from ..traces.flow_trace import FlowLevelTrace
+from .binning import BinLayout, build_bin_layouts
+from .evaluation import swapped_pair_counts
+from .results import MetricSeries, SimulationResult
+
+#: Sampling rates used in Figs. 12-15 of the paper.
+PAPER_SAMPLING_RATES = (0.001, 0.01, 0.1, 0.5)
+
+#: Number of independent sampling runs used by the paper.
+PAPER_NUM_RUNS = 30
+
+
+@dataclass
+class SimulationConfig:
+    """Configuration of a trace-driven simulation.
+
+    Attributes
+    ----------
+    bin_duration:
+        Measurement interval in seconds (paper: 60 s and 300 s).
+    top_t:
+        Number of top flows to rank/detect (paper: 10).
+    sampling_rates:
+        Packet sampling probabilities to evaluate.
+    num_runs:
+        Independent sampling realisations per rate (paper: 30).
+    key_policy:
+        Flow definition (5-tuple by default).
+    seed:
+        Seed of the random generator driving packet placement and
+        sampling.
+    evaluate_ranking, evaluate_detection:
+        Which problems to evaluate (both by default).
+    """
+
+    bin_duration: float = 60.0
+    top_t: int = 10
+    sampling_rates: tuple[float, ...] = PAPER_SAMPLING_RATES
+    num_runs: int = PAPER_NUM_RUNS
+    key_policy: FlowKeyPolicy = field(default_factory=FiveTupleKeyPolicy)
+    seed: int | None = None
+    evaluate_ranking: bool = True
+    evaluate_detection: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bin_duration <= 0:
+            raise ValueError("bin_duration must be positive")
+        if self.top_t < 1:
+            raise ValueError("top_t must be at least 1")
+        if not self.sampling_rates:
+            raise ValueError("at least one sampling rate is required")
+        for rate in self.sampling_rates:
+            if not 0.0 < rate <= 1.0:
+                raise ValueError(f"sampling rates must be in (0, 1], got {rate}")
+        if self.num_runs < 1:
+            raise ValueError("num_runs must be at least 1")
+        if not (self.evaluate_ranking or self.evaluate_detection):
+            raise ValueError("at least one of ranking/detection must be evaluated")
+
+
+def _evaluate_run(
+    layouts: list[BinLayout],
+    keep_mask: np.ndarray,
+    top_t: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Swapped-pair counts (ranking, detection) for every bin of one run."""
+    ranking = np.empty(len(layouts), dtype=float)
+    detection = np.empty(len(layouts), dtype=float)
+    for position, layout in enumerate(layouts):
+        counts = swapped_pair_counts(
+            layout.original_counts,
+            layout.sampled_counts(keep_mask[layout.packet_slice]),
+            top_t,
+        )
+        ranking[position] = counts.ranking
+        detection[position] = counts.detection
+    return ranking, detection
+
+
+def run_packet_simulation(
+    batch: PacketBatch,
+    group_of_flow: np.ndarray,
+    config: SimulationConfig,
+    flow_definition_name: str = "custom",
+) -> SimulationResult:
+    """Run the sampling simulation on an already-expanded packet batch.
+
+    This is the lower-level entry point; most users should call
+    :func:`run_trace_simulation` with a flow-level trace instead.
+    """
+    rng = np.random.default_rng(config.seed)
+    layouts = build_bin_layouts(batch, group_of_flow, config.bin_duration)
+    if not layouts:
+        raise ValueError("the packet batch produced no measurement bins")
+    bin_starts = np.array([layout.start_time for layout in layouts])
+    flows_per_bin = float(np.mean([layout.num_flows for layout in layouts]))
+
+    result = SimulationResult(
+        flow_definition=flow_definition_name,
+        bin_duration=config.bin_duration,
+        top_t=config.top_t,
+        num_runs=config.num_runs,
+        flows_per_bin=flows_per_bin,
+    )
+    num_packets = len(batch)
+    for rate in config.sampling_rates:
+        ranking_values = np.empty((config.num_runs, len(layouts)), dtype=float)
+        detection_values = np.empty((config.num_runs, len(layouts)), dtype=float)
+        for run in range(config.num_runs):
+            keep_mask = rng.random(num_packets) < rate
+            ranking_run, detection_run = _evaluate_run(layouts, keep_mask, config.top_t)
+            ranking_values[run] = ranking_run
+            detection_values[run] = detection_run
+        if config.evaluate_ranking:
+            result.ranking[rate] = MetricSeries(
+                problem="ranking",
+                sampling_rate=rate,
+                bin_start_times=bin_starts,
+                values=ranking_values,
+            )
+        if config.evaluate_detection:
+            result.detection[rate] = MetricSeries(
+                problem="detection",
+                sampling_rate=rate,
+                bin_start_times=bin_starts,
+                values=detection_values,
+            )
+    return result
+
+
+def run_trace_simulation(
+    trace: FlowLevelTrace,
+    config: SimulationConfig,
+    packet_rng: np.random.Generator | int | None = None,
+) -> SimulationResult:
+    """Run the full Section-8 pipeline on a flow-level trace.
+
+    Parameters
+    ----------
+    trace:
+        Flow-level trace (e.g. from
+        :class:`repro.traces.synthetic.SyntheticTraceGenerator`).
+    config:
+        Simulation configuration.
+    packet_rng:
+        Random generator (or seed) used for the flow-to-packet
+        expansion.  Defaults to ``config.seed`` so a single seed
+        reproduces the entire simulation.
+    """
+    if packet_rng is None:
+        packet_rng = config.seed
+    batch = expand_to_packets(trace, rng=packet_rng, clip_to_duration=trace.duration)
+    groups = trace.group_ids(config.key_policy)
+    return run_packet_simulation(
+        batch,
+        groups,
+        config,
+        flow_definition_name=config.key_policy.name,
+    )
+
+
+__all__ = [
+    "SimulationConfig",
+    "run_trace_simulation",
+    "run_packet_simulation",
+    "PAPER_SAMPLING_RATES",
+    "PAPER_NUM_RUNS",
+]

@@ -1,0 +1,39 @@
+"""Traffic trace substrate: flow-level traces, synthesis, packet expansion."""
+
+from .expansion import expand_to_packets, expected_link_utilisation_bps
+from .flow_trace import FlowLevelTrace
+from .io import read_flow_trace_csv, write_flow_trace_csv
+from .stats import TraceSummary, aggregate_sizes, summarize_trace
+from .synthetic import (
+    PAPER_TRACE_DURATION,
+    SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND,
+    SPRINT_FIVE_TUPLE_MEAN_BYTES,
+    SPRINT_MEAN_FLOW_DURATION,
+    SPRINT_PREFIX_FLOWS_PER_SECOND,
+    SPRINT_PREFIX_MEAN_BYTES,
+    SyntheticTraceConfig,
+    SyntheticTraceGenerator,
+    abilene_like_config,
+    sprint_like_config,
+)
+
+__all__ = [
+    "FlowLevelTrace",
+    "SyntheticTraceConfig",
+    "SyntheticTraceGenerator",
+    "sprint_like_config",
+    "abilene_like_config",
+    "expand_to_packets",
+    "expected_link_utilisation_bps",
+    "read_flow_trace_csv",
+    "write_flow_trace_csv",
+    "TraceSummary",
+    "summarize_trace",
+    "aggregate_sizes",
+    "PAPER_TRACE_DURATION",
+    "SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND",
+    "SPRINT_PREFIX_FLOWS_PER_SECOND",
+    "SPRINT_FIVE_TUPLE_MEAN_BYTES",
+    "SPRINT_PREFIX_MEAN_BYTES",
+    "SPRINT_MEAN_FLOW_DURATION",
+]

@@ -1,0 +1,98 @@
+"""CSV round-trip for flow-level traces.
+
+Flow-level traces are small enough (one row per flow) to be exchanged as
+plain CSV, which makes it easy to feed real exported NetFlow-style
+records into the simulation, or to archive the synthetic traces used for
+a given experiment run.
+
+Columns: ``start_time,duration,packets,src_ip,dst_ip,src_port,dst_port,protocol``
+with addresses in dotted-quad notation.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from ..flows.keys import int_to_ip, ip_to_int
+from .flow_trace import FlowLevelTrace
+
+_HEADER = [
+    "start_time",
+    "duration",
+    "packets",
+    "src_ip",
+    "dst_ip",
+    "src_port",
+    "dst_port",
+    "protocol",
+]
+
+
+def write_flow_trace_csv(trace: FlowLevelTrace, path: str | Path) -> None:
+    """Write a flow-level trace to a CSV file."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for i in range(trace.num_flows):
+            writer.writerow(
+                [
+                    f"{trace.start_times[i]:.6f}",
+                    f"{trace.durations[i]:.6f}",
+                    int(trace.sizes_packets[i]),
+                    int_to_ip(int(trace.src_ips[i])),
+                    int_to_ip(int(trace.dst_ips[i])),
+                    int(trace.src_ports[i]),
+                    int(trace.dst_ports[i]),
+                    int(trace.protocols[i]),
+                ]
+            )
+
+
+def read_flow_trace_csv(path: str | Path) -> FlowLevelTrace:
+    """Read a flow-level trace from a CSV file written by :func:`write_flow_trace_csv`."""
+    path = Path(path)
+    rows: list[list[str]] = []
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _HEADER:
+            raise ValueError(f"unexpected CSV header in {path}: {header}")
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ValueError(f"trace file {path} contains no flows")
+
+    num_flows = len(rows)
+    start_times = np.empty(num_flows)
+    durations = np.empty(num_flows)
+    sizes = np.empty(num_flows, dtype=np.int64)
+    src_ips = np.empty(num_flows, dtype=np.uint32)
+    dst_ips = np.empty(num_flows, dtype=np.uint32)
+    src_ports = np.empty(num_flows, dtype=np.uint16)
+    dst_ports = np.empty(num_flows, dtype=np.uint16)
+    protocols = np.empty(num_flows, dtype=np.uint8)
+    for i, row in enumerate(rows):
+        start_times[i] = float(row[0])
+        durations[i] = float(row[1])
+        sizes[i] = int(row[2])
+        src_ips[i] = ip_to_int(row[3])
+        dst_ips[i] = ip_to_int(row[4])
+        src_ports[i] = int(row[5])
+        dst_ports[i] = int(row[6])
+        protocols[i] = int(row[7])
+    return FlowLevelTrace(
+        start_times=start_times,
+        durations=durations,
+        sizes_packets=sizes,
+        src_ips=src_ips,
+        dst_ips=dst_ips,
+        src_ports=src_ports,
+        dst_ports=dst_ports,
+        protocols=protocols,
+    )
+
+
+__all__ = ["write_flow_trace_csv", "read_flow_trace_csv"]

@@ -1,0 +1,246 @@
+"""Synthetic trace generators.
+
+The paper evaluates its models on two operational traces we do not have
+access to (see DESIGN.md, "Substitutions"):
+
+* a 30-minute flow-level trace from a Sprint backbone OC-12 link
+  (2360 5-tuple flows/s, 4.8 KB mean flow size, 13 s mean duration,
+  /24 aggregation at 350 prefixes/s with 16.6 KB mean size);
+* a 30-minute NLANR packet-level trace from an Abilene OC-48 link
+  (higher utilisation, more flows, short-tailed flow size distribution).
+
+The generators below synthesise flow-level traces with those published
+characteristics.  Flow arrivals follow a Poisson process, flow sizes are
+drawn from a configurable distribution (Pareto by default, matching the
+paper's modelling assumption), durations are exponential, and
+destination addresses are drawn from a pool of /24 prefixes with
+Zipf-like popularity so that the /24 aggregation reduces the flow count
+by roughly the ratio the paper reports (2360 / 350 ≈ 6.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distributions.base import FlowSizeDistribution
+from ..distributions.lognormal import LognormalFlowSizes
+from ..distributions.pareto import ParetoFlowSizes
+from ..flows.packets import DEFAULT_PACKET_SIZE_BYTES
+from .flow_trace import FlowLevelTrace
+
+#: Flow arrival rate of the Sprint trace, 5-tuple definition (flows/s).
+SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND = 2360.0
+#: Flow arrival rate of the Sprint trace, /24 prefix definition (prefixes/s).
+SPRINT_PREFIX_FLOWS_PER_SECOND = 350.0
+#: Mean flow size of the Sprint trace, 5-tuple definition (bytes).
+SPRINT_FIVE_TUPLE_MEAN_BYTES = 4800.0
+#: Mean flow size of the Sprint trace, /24 prefix definition (bytes).
+SPRINT_PREFIX_MEAN_BYTES = 16600.0
+#: Mean flow duration reported for the Sprint trace (seconds).
+SPRINT_MEAN_FLOW_DURATION = 13.0
+#: Duration of both traces used in the paper (seconds).
+PAPER_TRACE_DURATION = 1800.0
+
+
+def _mean_packets(mean_bytes: float, packet_size: int = DEFAULT_PACKET_SIZE_BYTES) -> float:
+    """Convert a mean flow size in bytes to packets (paper: 500-byte packets)."""
+    return mean_bytes / packet_size
+
+
+@dataclass
+class SyntheticTraceConfig:
+    """Parameters of a synthetic flow-level trace.
+
+    Attributes
+    ----------
+    duration:
+        Trace duration in seconds.
+    flow_arrival_rate:
+        Poisson flow arrival rate (flows per second), at the 5-tuple
+        granularity.
+    size_distribution:
+        Flow size distribution in packets.
+    mean_flow_duration:
+        Mean flow duration in seconds (exponential).
+    num_prefixes:
+        Size of the destination /24 prefix pool.  Smaller pools make the
+        /24 aggregation coarser.
+    prefix_zipf_exponent:
+        Zipf exponent of prefix popularity (0 = uniform).
+    scale:
+        Global scale factor applied to ``flow_arrival_rate``.  The paper
+        works at backbone scale (millions of flows per measurement
+        interval); scaling down keeps simulations laptop-sized while
+        preserving all distributional shapes.  Recorded so experiment
+        reports can state the substitution explicitly.
+    """
+
+    duration: float = PAPER_TRACE_DURATION
+    flow_arrival_rate: float = SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND
+    size_distribution: FlowSizeDistribution = field(
+        default_factory=lambda: ParetoFlowSizes.from_mean(
+            mean=_mean_packets(SPRINT_FIVE_TUPLE_MEAN_BYTES), shape=1.5
+        )
+    )
+    mean_flow_duration: float = SPRINT_MEAN_FLOW_DURATION
+    num_prefixes: int = 2000
+    prefix_zipf_exponent: float = 1.0
+    scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+        if self.flow_arrival_rate <= 0:
+            raise ValueError("flow_arrival_rate must be positive")
+        if self.mean_flow_duration < 0:
+            raise ValueError("mean_flow_duration must be non-negative")
+        if self.num_prefixes < 1:
+            raise ValueError("num_prefixes must be at least 1")
+        if self.prefix_zipf_exponent < 0:
+            raise ValueError("prefix_zipf_exponent must be non-negative")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+    @property
+    def effective_arrival_rate(self) -> float:
+        """Flow arrival rate after applying the scale factor."""
+        return self.flow_arrival_rate * self.scale
+
+    @property
+    def expected_flows(self) -> float:
+        """Expected total number of flows in the trace."""
+        return self.effective_arrival_rate * self.duration
+
+
+class SyntheticTraceGenerator:
+    """Generate flow-level traces from a :class:`SyntheticTraceConfig`."""
+
+    def __init__(self, config: SyntheticTraceConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    def _prefix_pool_probabilities(self) -> np.ndarray:
+        ranks = np.arange(1, self.config.num_prefixes + 1, dtype=float)
+        if self.config.prefix_zipf_exponent == 0.0:
+            weights = np.ones_like(ranks)
+        else:
+            weights = ranks ** (-self.config.prefix_zipf_exponent)
+        return weights / weights.sum()
+
+    def generate(self, rng: np.random.Generator | int | None = None) -> FlowLevelTrace:
+        """Generate one flow-level trace realisation."""
+        generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        config = self.config
+
+        expected = config.expected_flows
+        num_flows = int(generator.poisson(expected))
+        if num_flows < 2:
+            num_flows = 2
+
+        start_times = np.sort(generator.uniform(0.0, config.duration, size=num_flows))
+        sizes = config.size_distribution.sample_packets(num_flows, generator)
+        if config.mean_flow_duration > 0:
+            durations = generator.exponential(config.mean_flow_duration, size=num_flows)
+        else:
+            durations = np.zeros(num_flows)
+        # Single-packet flows have zero duration by construction.
+        durations = np.where(sizes <= 1, 0.0, durations)
+
+        # Destination prefixes: a Zipf-popular pool of /24 networks under 10.0.0.0/8.
+        prefix_probs = self._prefix_pool_probabilities()
+        prefix_indices = generator.choice(config.num_prefixes, size=num_flows, p=prefix_probs)
+        base_prefix = np.uint32(0x0A000000)  # 10.0.0.0
+        dst_ips = base_prefix + (prefix_indices.astype(np.uint32) << np.uint32(8))
+        dst_ips += generator.integers(1, 255, size=num_flows, dtype=np.uint32)
+
+        src_ips = (
+            np.uint32(0xC0A80000)  # 192.168.0.0/16 source pool
+            + generator.integers(0, 0xFFFF, size=num_flows, dtype=np.uint32)
+        )
+        src_ports = generator.integers(1024, 65535, size=num_flows, dtype=np.uint16)
+        dst_ports = generator.choice(
+            np.array([80, 443, 25, 53, 110, 8080], dtype=np.uint16), size=num_flows
+        )
+        protocols = np.full(num_flows, 6, dtype=np.uint8)
+
+        return FlowLevelTrace(
+            start_times=start_times,
+            durations=durations,
+            sizes_packets=sizes,
+            src_ips=src_ips,
+            dst_ips=dst_ips,
+            src_ports=src_ports,
+            dst_ports=dst_ports,
+            protocols=protocols,
+        )
+
+
+def sprint_like_config(
+    shape: float = 1.5,
+    scale: float = 1.0,
+    duration: float = PAPER_TRACE_DURATION,
+) -> SyntheticTraceConfig:
+    """Configuration mimicking the Sprint OC-12 trace of Section 8.1.
+
+    Parameters
+    ----------
+    shape:
+        Pareto shape of the 5-tuple flow size distribution (paper: 1.5).
+    scale:
+        Scale factor on the flow arrival rate (1.0 = full backbone
+        scale; use e.g. 0.02 for laptop-sized simulations).
+    duration:
+        Trace duration in seconds (paper: 30 minutes).
+    """
+    return SyntheticTraceConfig(
+        duration=duration,
+        flow_arrival_rate=SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND,
+        size_distribution=ParetoFlowSizes.from_mean(
+            mean=_mean_packets(SPRINT_FIVE_TUPLE_MEAN_BYTES), shape=shape
+        ),
+        mean_flow_duration=SPRINT_MEAN_FLOW_DURATION,
+        num_prefixes=2000,
+        prefix_zipf_exponent=1.0,
+        scale=scale,
+    )
+
+
+def abilene_like_config(
+    sigma: float = 1.0,
+    scale: float = 1.0,
+    duration: float = PAPER_TRACE_DURATION,
+) -> SyntheticTraceConfig:
+    """Configuration mimicking the NLANR Abilene-I trace of Section 8.3.
+
+    The Abilene link carries more flows than the Sprint link and its
+    flow size distribution is short tailed; we model the sizes with a
+    lognormal distribution of moderate sigma, and raise the flow arrival
+    rate by 50%.
+    """
+    return SyntheticTraceConfig(
+        duration=duration,
+        flow_arrival_rate=1.5 * SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND,
+        size_distribution=LognormalFlowSizes.from_mean_sigma(
+            mean=_mean_packets(SPRINT_FIVE_TUPLE_MEAN_BYTES), sigma=sigma
+        ),
+        mean_flow_duration=SPRINT_MEAN_FLOW_DURATION,
+        num_prefixes=3000,
+        prefix_zipf_exponent=1.0,
+        scale=scale,
+    )
+
+
+__all__ = [
+    "SyntheticTraceConfig",
+    "SyntheticTraceGenerator",
+    "sprint_like_config",
+    "abilene_like_config",
+    "SPRINT_FIVE_TUPLE_FLOWS_PER_SECOND",
+    "SPRINT_PREFIX_FLOWS_PER_SECOND",
+    "SPRINT_FIVE_TUPLE_MEAN_BYTES",
+    "SPRINT_PREFIX_MEAN_BYTES",
+    "SPRINT_MEAN_FLOW_DURATION",
+    "PAPER_TRACE_DURATION",
+]

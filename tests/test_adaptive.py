@@ -1,0 +1,103 @@
+"""Tests for the adaptive sampling-rate controller (paper future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveRateController
+from repro.distributions import ParetoFlowSizes
+
+
+def sampled_interval(rng, num_flows: int, rate: float, shape: float = 1.5) -> np.ndarray:
+    """Simulate the sampled flow sizes of one measurement interval."""
+    dist = ParetoFlowSizes.from_mean(mean=9.6, shape=shape)
+    original = dist.sample_packets(num_flows, rng)
+    sampled = rng.binomial(original, rate)
+    return sampled[sampled > 0]
+
+
+class TestConstruction:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AdaptiveRateController(top_t=0)
+        with pytest.raises(ValueError):
+            AdaptiveRateController(min_rate=0.5, initial_rate=0.1)
+        with pytest.raises(ValueError):
+            AdaptiveRateController(target_swapped_pairs=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveRateController(max_decrease_factor=0.5)
+
+    def test_starts_at_initial_rate(self):
+        controller = AdaptiveRateController(initial_rate=0.2)
+        assert controller.current_rate == 0.2
+
+
+class TestControlBehaviour:
+    def test_rate_stays_within_bounds(self, rng):
+        controller = AdaptiveRateController(
+            top_t=10, problem="detection", initial_rate=0.1, min_rate=0.001, max_rate=0.5
+        )
+        for _ in range(6):
+            observed = sampled_interval(rng, num_flows=20_000, rate=controller.current_rate)
+            step = controller.observe_interval(observed)
+            assert 0.001 <= step.next_rate <= 0.5
+
+    def test_sparse_interval_raises_rate(self):
+        controller = AdaptiveRateController(top_t=10, initial_rate=0.01, max_rate=1.0)
+        step = controller.observe_interval([1, 2, 1])  # almost nothing sampled
+        assert step.next_rate > 0.01
+
+    def test_decrease_is_bounded_per_step(self, rng):
+        controller = AdaptiveRateController(
+            top_t=5,
+            problem="detection",
+            initial_rate=0.5,
+            min_rate=1e-4,
+            max_decrease_factor=2.0,
+        )
+        observed = sampled_interval(rng, num_flows=100_000, rate=0.5)
+        step = controller.observe_interval(observed)
+        assert step.next_rate >= 0.25 - 1e-12
+
+    def test_converges_for_stationary_traffic(self, rng):
+        """On stationary traffic the controller settles near the rate the
+        offline planner would choose, instead of oscillating."""
+        controller = AdaptiveRateController(
+            top_t=10, problem="detection", initial_rate=0.25, min_rate=1e-3
+        )
+        rates = []
+        for _ in range(8):
+            observed = sampled_interval(rng, num_flows=50_000, rate=controller.current_rate)
+            rates.append(controller.observe_interval(observed).next_rate)
+        last = rates[-3:]
+        assert max(last) / min(last) < 3.0
+
+    def test_history_is_recorded(self, rng):
+        controller = AdaptiveRateController(top_t=5, initial_rate=0.1)
+        for _ in range(3):
+            controller.observe_interval(sampled_interval(rng, 10_000, controller.current_rate))
+        assert len(controller.history) == 3
+        assert [step.interval_index for step in controller.history] == [0, 1, 2]
+
+    def test_estimates_are_plausible(self, rng):
+        # The flow-count heuristic over-counts small multi-packet flows, so
+        # only order-of-magnitude agreement is expected (see inversion.counts).
+        controller = AdaptiveRateController(top_t=10, initial_rate=0.2)
+        num_flows = 30_000
+        observed = sampled_interval(rng, num_flows, 0.2)
+        step = controller.observe_interval(observed)
+        assert step.estimated_total_flows >= observed.size
+        assert num_flows / 3.0 < step.estimated_total_flows < num_flows * 3.0
+
+    def test_ranking_problem_needs_higher_rate_than_detection(self, rng):
+        observed = sampled_interval(rng, num_flows=50_000, rate=0.2)
+        ranking_controller = AdaptiveRateController(
+            top_t=10, problem="ranking", initial_rate=0.2, max_decrease_factor=100.0
+        )
+        detection_controller = AdaptiveRateController(
+            top_t=10, problem="detection", initial_rate=0.2, max_decrease_factor=100.0
+        )
+        ranking_step = ranking_controller.observe_interval(observed)
+        detection_step = detection_controller.observe_interval(observed)
+        assert ranking_step.recommended_rate >= detection_step.recommended_rate

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFigureCommand:
+    def test_analytical_figure(self, capsys):
+        assert main(["figure", "fig01"]) == 0
+        output = capsys.readouterr().out
+        assert "fig01" in output
+        assert "diagonal" in output
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestPlanCommand:
+    def test_default_plan(self, capsys):
+        assert main(["plan", "--flows", "100000", "--top", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "detection" in output and "ranking" in output
+        assert "required sampling rate" in output
+
+    def test_detection_rate_below_ranking_rate(self, capsys):
+        main(["plan", "--flows", "200000", "--top", "10"])
+        output = capsys.readouterr().out
+        lines = [line for line in output.splitlines() if "required sampling rate" in line]
+        assert len(lines) == 2
+
+    def test_infeasible_target_reported(self, capsys):
+        main(["plan", "--flows", "50000", "--top", "25", "--shape", "3.0"])
+        output = capsys.readouterr().out
+        assert "not achievable" in output or "%" in output
+
+
+class TestSimulateCommand:
+    def test_small_simulation(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--bin", "60",
+                "--runs", "2",
+                "--rates", "0.1", "0.5",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "trace simulation" in output
+        assert "ranking" in output and "detection" in output
+
+    def test_prefix_flag(self, capsys):
+        main(
+            [
+                "simulate",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--runs", "1",
+                "--rates", "0.5",
+                "--prefix",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "/24" in output
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,82 @@
+"""Tests for the top-t detection model (Section 7 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection import DetectionModel
+from repro.core.flow_size_model import FlowPopulation
+from repro.core.ranking import RankingModel
+from repro.distributions import ParetoFlowSizes
+
+
+class TestConstruction:
+    def test_rejects_bad_top_t(self, small_population):
+        with pytest.raises(ValueError):
+            DetectionModel(small_population, top_t=0)
+
+    def test_rejects_unknown_method(self, small_population):
+        with pytest.raises(ValueError):
+            DetectionModel(small_population, top_t=5, method="bogus")
+
+
+class TestMetricBehaviour:
+    def test_metric_decreases_with_sampling_rate(self, small_population):
+        model = DetectionModel(small_population, top_t=10)
+        curve = model.metric_curve([0.001, 0.01, 0.1, 0.5])
+        assert all(a >= b - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_metric_bounded_by_pair_count(self, small_population):
+        model = DetectionModel(small_population, top_t=10)
+        accuracy = model.evaluate(0.001)
+        assert accuracy.swapped_pairs <= accuracy.pair_count
+
+    def test_mean_probability_in_unit_interval(self, small_population):
+        model = DetectionModel(small_population, top_t=10)
+        for rate in (0.005, 0.05, 0.5):
+            assert 0.0 <= model.mean_misranking_probability(rate) <= 1.0
+
+    def test_detection_easier_than_ranking(self, small_population):
+        """Section 7: the detection metric is below the ranking metric."""
+        ranking = RankingModel(small_population, top_t=10)
+        detection = DetectionModel(small_population, top_t=10)
+        for rate in (0.01, 0.05, 0.2):
+            assert detection.swapped_pairs(rate) <= ranking.swapped_pairs(rate) + 1e-9
+
+    def test_detection_gain_is_substantial_at_moderate_rates(self, paper_population):
+        """The paper reports roughly an order of magnitude gain for t = 10."""
+        ranking = RankingModel(paper_population, top_t=10)
+        detection = DetectionModel(paper_population, top_t=10)
+        rate = 0.1
+        assert detection.swapped_pairs(rate) < ranking.swapped_pairs(rate) / 3.0
+
+    def test_top_one_detection_equals_ranking(self, small_population):
+        """Section 7.1: for t = 1 the two problems coincide."""
+        ranking = RankingModel(small_population, top_t=1)
+        detection = DetectionModel(small_population, top_t=1)
+        for rate in (0.01, 0.1, 0.5):
+            assert detection.swapped_pairs(rate) == pytest.approx(
+                ranking.swapped_pairs(rate), rel=0.05
+            )
+
+    def test_metric_increases_with_top_t(self, small_population):
+        values = [DetectionModel(small_population, t).swapped_pairs(0.02) for t in (1, 5, 25)]
+        assert values[0] < values[1] < values[2]
+
+    def test_evaluate_rejects_bad_rate(self, small_population):
+        model = DetectionModel(small_population, top_t=5)
+        with pytest.raises(ValueError):
+            model.evaluate(1.5)
+
+    def test_heavier_tail_detects_better(self):
+        values = {}
+        for beta in (1.2, 2.5):
+            dist = ParetoFlowSizes.from_mean(mean=9.6, shape=beta)
+            population = FlowPopulation.from_distribution(dist, total_flows=50_000, grid_points=150)
+            values[beta] = DetectionModel(population, top_t=10).swapped_pairs(0.05)
+        assert values[1.2] < values[2.5]
+
+    def test_exact_method_runs_on_small_population(self, discrete_population):
+        model = DetectionModel(discrete_population, top_t=3, method="exact")
+        value = model.swapped_pairs(0.3)
+        assert 0.0 <= value <= model.evaluate(0.3).pair_count

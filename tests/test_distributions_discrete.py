@@ -1,0 +1,137 @@
+"""Tests for discrete, empirical and discretised flow size distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import DiscreteFlowSizes, EmpiricalFlowSizes, ParetoFlowSizes
+from repro.distributions.base import DiscretizedFlowSizes
+
+
+class TestDiscretizedFlowSizes:
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            DiscretizedFlowSizes(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_rejects_unsorted_sizes(self):
+        with pytest.raises(ValueError):
+            DiscretizedFlowSizes(np.array([2.0, 1.0]), np.array([0.5, 0.5]))
+
+    def test_rejects_probabilities_not_summing_to_one(self):
+        with pytest.raises(ValueError):
+            DiscretizedFlowSizes(np.array([1.0, 2.0]), np.array([0.5, 0.2]))
+
+    def test_mean(self):
+        grid = DiscretizedFlowSizes(np.array([1.0, 3.0]), np.array([0.5, 0.5]))
+        assert grid.mean == pytest.approx(2.0)
+
+    def test_ccdf_is_inclusive_tail(self):
+        grid = DiscretizedFlowSizes(np.array([1.0, 2.0, 3.0]), np.array([0.2, 0.3, 0.5]))
+        np.testing.assert_allclose(grid.ccdf(), [1.0, 0.8, 0.5])
+
+    def test_strict_tail_excludes_current_point(self):
+        grid = DiscretizedFlowSizes(np.array([1.0, 2.0, 3.0]), np.array([0.2, 0.3, 0.5]))
+        np.testing.assert_allclose(grid.strict_tail(), [0.8, 0.5, 0.0])
+
+    def test_truncate_renormalises(self):
+        grid = DiscretizedFlowSizes(np.array([1.0, 2.0, 3.0]), np.array([0.2, 0.3, 0.5]))
+        truncated = grid.truncate(2.0)
+        assert truncated.num_points == 2
+        assert truncated.probabilities.sum() == pytest.approx(1.0)
+
+    def test_truncate_rejects_removing_everything(self):
+        grid = DiscretizedFlowSizes(np.array([2.0, 3.0]), np.array([0.5, 0.5]))
+        with pytest.raises(ValueError):
+            grid.truncate(1.0)
+
+
+class TestDiscreteFlowSizes:
+    def test_pmf_lookup(self):
+        dist = DiscreteFlowSizes([1, 5, 10], [0.5, 0.3, 0.2])
+        assert dist.pmf(5) == pytest.approx(0.3)
+        assert dist.pmf(7) == 0.0
+
+    def test_mean(self):
+        dist = DiscreteFlowSizes([1, 10], [0.9, 0.1])
+        assert dist.mean == pytest.approx(1.9)
+
+    def test_normalises_probabilities(self):
+        dist = DiscreteFlowSizes([1, 2], [2.0, 2.0])
+        assert dist.pmf(1) == pytest.approx(0.5)
+
+    def test_merges_duplicate_sizes(self):
+        dist = DiscreteFlowSizes([2, 2, 3], [0.25, 0.25, 0.5])
+        assert dist.pmf(2) == pytest.approx(0.5)
+
+    def test_rejects_sizes_below_one(self):
+        with pytest.raises(ValueError):
+            DiscreteFlowSizes([0, 1], [0.5, 0.5])
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError):
+            DiscreteFlowSizes([1, 2], [-0.1, 1.1])
+
+    def test_cdf_steps(self):
+        dist = DiscreteFlowSizes([1, 5], [0.4, 0.6])
+        assert dist.cdf(0.5) == 0.0
+        assert dist.cdf(1.0) == pytest.approx(0.4)
+        assert dist.cdf(4.9) == pytest.approx(0.4)
+        assert dist.cdf(5.0) == pytest.approx(1.0)
+
+    def test_quantile_returns_support_values(self):
+        dist = DiscreteFlowSizes([1, 5, 9], [0.4, 0.4, 0.2])
+        assert dist.quantile(0.3) == 1.0
+        assert dist.quantile(0.5) == 5.0
+        assert dist.quantile(0.99) == 9.0
+
+    def test_discretize_is_exact(self):
+        dist = DiscreteFlowSizes([1, 5, 9], [0.4, 0.4, 0.2])
+        grid = dist.discretize(num_points=1000)
+        np.testing.assert_allclose(grid.sizes, [1.0, 5.0, 9.0])
+        np.testing.assert_allclose(grid.probabilities, [0.4, 0.4, 0.2])
+
+    def test_sample_only_support_values(self, rng):
+        dist = DiscreteFlowSizes([1, 5, 9], [0.4, 0.4, 0.2])
+        samples = dist.sample(1000, rng)
+        assert set(np.unique(samples)) <= {1.0, 5.0, 9.0}
+
+    def test_from_mapping(self):
+        dist = DiscreteFlowSizes.from_mapping({3: 0.5, 7: 0.5})
+        assert dist.mean == pytest.approx(5.0)
+
+    def test_from_mapping_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DiscreteFlowSizes.from_mapping({})
+
+
+class TestEmpiricalFlowSizes:
+    def test_built_from_observations(self):
+        dist = EmpiricalFlowSizes([1, 1, 2, 2, 2, 10])
+        assert dist.num_observations == 6
+        assert dist.pmf(2) == pytest.approx(0.5)
+
+    def test_mean_matches_observations(self):
+        observations = [1, 4, 4, 7]
+        dist = EmpiricalFlowSizes(observations)
+        assert dist.mean == pytest.approx(np.mean(observations))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalFlowSizes([])
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            EmpiricalFlowSizes([0, 1])
+
+    def test_hill_estimator_heavier_tail_gives_smaller_index(self, rng):
+        heavy = ParetoFlowSizes.from_mean(mean=9.6, shape=1.2).sample_packets(20_000, rng)
+        light = ParetoFlowSizes.from_mean(mean=9.6, shape=3.0).sample_packets(20_000, rng)
+        heavy_index = EmpiricalFlowSizes(heavy).tail_index_hill()
+        light_index = EmpiricalFlowSizes(light).tail_index_hill()
+        assert heavy_index < light_index
+
+    def test_hill_estimator_rejects_bad_fraction(self):
+        dist = EmpiricalFlowSizes([1, 2, 3, 4])
+        with pytest.raises(ValueError):
+            dist.tail_index_hill(tail_fraction=0.0)

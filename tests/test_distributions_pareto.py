@@ -1,0 +1,135 @@
+"""Tests for the Pareto flow size distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.distributions import ParetoFlowSizes
+
+
+class TestConstruction:
+    def test_rejects_non_positive_shape(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes(shape=0.0, scale=1.0)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes(shape=1.5, scale=-1.0)
+
+    def test_from_mean_matches_requested_mean(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        assert dist.mean == pytest.approx(9.6)
+
+    def test_from_mean_requires_shape_above_one(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes.from_mean(mean=10.0, shape=1.0)
+
+    def test_from_mean_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            ParetoFlowSizes.from_mean(mean=0.0, shape=1.5)
+
+
+class TestAnalyticProperties:
+    def test_mean_formula(self):
+        dist = ParetoFlowSizes(shape=2.0, scale=3.0)
+        assert dist.mean == pytest.approx(6.0)
+
+    def test_mean_infinite_for_shape_below_one(self):
+        dist = ParetoFlowSizes(shape=0.8, scale=1.0)
+        assert np.isinf(dist.mean)
+
+    def test_variance_infinite_for_shape_below_two(self):
+        assert np.isinf(ParetoFlowSizes(shape=1.5, scale=1.0).variance)
+
+    def test_variance_finite_for_shape_above_two(self):
+        assert ParetoFlowSizes(shape=3.0, scale=1.0).variance == pytest.approx(0.75)
+
+    def test_ccdf_at_scale_is_one(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=2.0)
+        assert dist.ccdf(2.0) == pytest.approx(1.0)
+
+    def test_ccdf_power_law_decay(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=1.0)
+        assert dist.ccdf(100.0) == pytest.approx(100.0**-1.5)
+
+    def test_cdf_below_scale_is_zero(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=2.0)
+        assert dist.cdf(1.0) == 0.0
+
+    def test_cdf_ccdf_complementarity(self):
+        dist = ParetoFlowSizes(shape=1.2, scale=3.0)
+        x = np.array([3.0, 5.0, 50.0, 500.0])
+        np.testing.assert_allclose(dist.cdf(x) + dist.ccdf(x), 1.0)
+
+    def test_quantile_inverts_cdf(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=2.0)
+        levels = np.array([0.0, 0.1, 0.5, 0.9, 0.999])
+        np.testing.assert_allclose(dist.cdf(dist.quantile(levels)), levels, atol=1e-12)
+
+    def test_quantile_rejects_out_of_range(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=2.0)
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_pdf_integrates_to_one(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=1.0)
+        x = np.logspace(0, 6, 400_000)
+        integral = np.trapezoid(dist.pdf(x), x)
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+
+class TestSampling:
+    def test_sample_respects_scale(self, rng):
+        dist = ParetoFlowSizes(shape=1.5, scale=4.0)
+        samples = dist.sample(10_000, rng)
+        assert samples.min() >= 4.0
+
+    def test_sample_mean_close_to_analytic(self, rng):
+        dist = ParetoFlowSizes(shape=3.0, scale=2.0)
+        samples = dist.sample(200_000, rng)
+        assert samples.mean() == pytest.approx(dist.mean, rel=0.05)
+
+    def test_sample_packets_are_positive_integers(self, rng):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        packets = dist.sample_packets(1_000, rng)
+        assert packets.dtype == np.int64
+        assert packets.min() >= 1
+
+    def test_sample_rejects_negative_count(self, rng):
+        dist = ParetoFlowSizes(shape=1.5, scale=1.0)
+        with pytest.raises(ValueError):
+            dist.sample(-1, rng)
+
+    def test_tail_heaviness_ordering(self, rng):
+        """A smaller shape must produce heavier tails (larger extremes)."""
+        heavy = ParetoFlowSizes.from_mean(mean=9.6, shape=1.2)
+        light = ParetoFlowSizes.from_mean(mean=9.6, shape=3.0)
+        q = 0.9999
+        assert heavy.quantile(q) > light.quantile(q)
+
+
+class TestDiscretization:
+    def test_probabilities_sum_to_one(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        grid = dist.discretize(num_points=200)
+        assert grid.probabilities.sum() == pytest.approx(1.0)
+
+    def test_grid_mean_close_to_analytic_mean(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        grid = dist.discretize(num_points=600, tail_probability=1e-12)
+        assert grid.mean == pytest.approx(dist.mean, rel=0.15)
+
+    def test_sizes_strictly_increasing(self):
+        grid = ParetoFlowSizes(shape=1.5, scale=1.0).discretize(num_points=100)
+        assert np.all(np.diff(grid.sizes) > 0)
+
+    def test_rejects_invalid_num_points(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=1.0)
+        with pytest.raises(ValueError):
+            dist.discretize(num_points=1)
+
+    def test_rejects_invalid_tail_probability(self):
+        dist = ParetoFlowSizes(shape=1.5, scale=1.0)
+        with pytest.raises(ValueError):
+            dist.discretize(tail_probability=0.0)

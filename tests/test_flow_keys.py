@@ -1,0 +1,100 @@
+"""Tests for flow keys, prefix aggregation and key policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.keys import (
+    DestinationPrefixKeyPolicy,
+    FiveTuple,
+    FiveTupleKeyPolicy,
+    int_to_ip,
+    ip_to_int,
+    prefix_of,
+)
+
+
+class TestAddressConversion:
+    def test_roundtrip(self):
+        for address in ("0.0.0.0", "10.0.0.1", "192.168.255.4", "255.255.255.255"):
+            assert int_to_ip(ip_to_int(address)) == address
+
+    def test_known_value(self):
+        assert ip_to_int("1.2.3.4") == (1 << 24) + (2 << 16) + (3 << 8) + 4
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3")
+        with pytest.raises(ValueError):
+            ip_to_int("1.2.3.300")
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+
+
+class TestPrefix:
+    def test_prefix_24(self):
+        assert int_to_ip(prefix_of(ip_to_int("192.168.17.33"), 24)) == "192.168.17.0"
+
+    def test_prefix_16(self):
+        assert int_to_ip(prefix_of(ip_to_int("192.168.17.33"), 16)) == "192.168.0.0"
+
+    def test_prefix_0_and_32(self):
+        addr = ip_to_int("10.1.2.3")
+        assert prefix_of(addr, 0) == 0
+        assert prefix_of(addr, 32) == addr
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            prefix_of(0, 33)
+
+
+class TestFiveTuple:
+    def test_from_strings(self, sample_five_tuple):
+        assert int_to_ip(sample_five_tuple.src_ip) == "192.168.1.10"
+        assert sample_five_tuple.dst_port == 443
+
+    def test_is_hashable_and_comparable(self, sample_five_tuple):
+        clone = FiveTuple.from_strings("192.168.1.10", "10.20.30.40", 40000, 443)
+        assert clone == sample_five_tuple
+        assert hash(clone) == hash(sample_five_tuple)
+        assert len({clone, sample_five_tuple}) == 1
+
+    def test_rejects_out_of_range_fields(self):
+        with pytest.raises(ValueError):
+            FiveTuple(src_ip=-1, dst_ip=0, src_port=0, dst_port=0)
+        with pytest.raises(ValueError):
+            FiveTuple(src_ip=0, dst_ip=0, src_port=70000, dst_port=0)
+
+    def test_destination_prefix(self, sample_five_tuple):
+        assert int_to_ip(sample_five_tuple.destination_prefix(24)) == "10.20.30.0"
+
+    def test_reversed(self, sample_five_tuple):
+        reverse = sample_five_tuple.reversed()
+        assert reverse.src_ip == sample_five_tuple.dst_ip
+        assert reverse.dst_port == sample_five_tuple.src_port
+        assert reverse.reversed() == sample_five_tuple
+
+    def test_str_contains_addresses(self, sample_five_tuple):
+        text = str(sample_five_tuple)
+        assert "192.168.1.10" in text and "443" in text
+
+
+class TestKeyPolicies:
+    def test_five_tuple_policy_identity(self, sample_five_tuple):
+        policy = FiveTupleKeyPolicy()
+        assert policy.key_of(sample_five_tuple) == sample_five_tuple
+
+    def test_prefix_policy_aggregates(self):
+        policy = DestinationPrefixKeyPolicy(24)
+        a = FiveTuple.from_strings("1.1.1.1", "10.20.30.40", 1, 80)
+        b = FiveTuple.from_strings("2.2.2.2", "10.20.30.99", 2, 443)
+        c = FiveTuple.from_strings("3.3.3.3", "10.20.31.99", 3, 443)
+        assert policy.key_of(a) == policy.key_of(b)
+        assert policy.key_of(a) != policy.key_of(c)
+
+    def test_prefix_policy_name(self):
+        assert DestinationPrefixKeyPolicy(24).name == "/24 destination prefix"
+
+    def test_prefix_policy_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            DestinationPrefixKeyPolicy(40)

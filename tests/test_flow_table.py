@@ -1,0 +1,84 @@
+"""Tests for the binned flow table (measurement-interval binning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.keys import FiveTuple
+from repro.flows.packets import Packet
+from repro.flows.table import BinnedFlowTable
+
+
+def packet(ts: float, sport: int = 1000) -> Packet:
+    return Packet(ts, FiveTuple.from_strings("192.168.0.1", "10.0.0.1", sport, 80))
+
+
+class TestBinnedFlowTable:
+    def test_rejects_bad_bin_duration(self):
+        with pytest.raises(ValueError):
+            BinnedFlowTable(bin_duration=0.0)
+
+    def test_packets_grouped_into_bins(self):
+        table = BinnedFlowTable(bin_duration=10.0)
+        for ts in (0.0, 1.0, 9.9, 10.1, 15.0, 25.0):
+            table.observe(packet(ts))
+        bins = table.flush()
+        assert [b.index for b in bins] == [0, 1, 2]
+        assert bins[0].total_packets == 3
+        assert bins[1].total_packets == 2
+        assert bins[2].total_packets == 1
+
+    def test_flow_truncated_at_bin_boundary(self):
+        """A flow spanning two bins appears as two independent (truncated) flows."""
+        table = BinnedFlowTable(bin_duration=10.0)
+        for ts in (8.0, 9.0, 11.0, 12.0):
+            table.observe(packet(ts))
+        bins = table.flush()
+        assert len(bins) == 2
+        assert bins[0].flows[0].packets == 2
+        assert bins[1].flows[0].packets == 2
+
+    def test_rejects_time_going_backwards_across_bins(self):
+        table = BinnedFlowTable(bin_duration=10.0)
+        table.observe(packet(15.0))
+        with pytest.raises(ValueError):
+            table.observe(packet(5.0))
+
+    def test_empty_intermediate_bins_are_skipped(self):
+        table = BinnedFlowTable(bin_duration=1.0)
+        table.observe(packet(0.5))
+        table.observe(packet(5.5))
+        bins = table.flush()
+        assert [b.index for b in bins] == [0, 5]
+
+    def test_top_returns_largest_flows(self):
+        table = BinnedFlowTable(bin_duration=100.0)
+        for _ in range(5):
+            table.observe(packet(1.0, sport=1111))
+        for _ in range(2):
+            table.observe(packet(1.0, sport=2222))
+        table.observe(packet(1.0, sport=3333))
+        bins = table.flush()
+        top_two = bins[0].top(2)
+        assert [flow.packets for flow in top_two] == [5, 2]
+
+    def test_memory_bound_evicts_smallest(self):
+        table = BinnedFlowTable(bin_duration=100.0, max_flows=2)
+        for _ in range(5):
+            table.observe(packet(1.0, sport=1111))
+        for _ in range(3):
+            table.observe(packet(1.0, sport=2222))
+        table.observe(packet(2.0, sport=3333))  # forces eviction of the smallest
+        bins = table.flush()
+        assert table.evictions == 1
+        assert bins[0].num_flows == 2
+        sizes = sorted(flow.packets for flow in bins[0].flows)
+        assert 5 in sizes
+
+    def test_packet_counts_mapping(self):
+        table = BinnedFlowTable(bin_duration=100.0)
+        table.observe(packet(0.0, sport=1111))
+        table.observe(packet(0.0, sport=1111))
+        bins = table.flush()
+        counts = bins[0].packet_counts()
+        assert list(counts.values()) == [2]

@@ -1,0 +1,111 @@
+"""Tests for the Gaussian approximation of the misranking probability (Eq. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.gaussian import (
+    gaussian_absolute_error,
+    gaussian_error_surface,
+    misranking_matrix_gaussian,
+    misranking_probability_gaussian,
+)
+from repro.core.misranking import misranking_probability_exact
+
+
+class TestGaussianFormula:
+    def test_equal_sizes_give_one_half(self):
+        assert misranking_probability_gaussian(100, 100, 0.1) == pytest.approx(0.5)
+
+    def test_full_capture_distinct_sizes_is_zero(self):
+        assert misranking_probability_gaussian(10, 1000, 1.0) == 0.0
+
+    def test_symmetric(self):
+        a = misranking_probability_gaussian(30, 90, 0.02)
+        b = misranking_probability_gaussian(90, 30, 0.02)
+        assert a == pytest.approx(b)
+
+    def test_bounded_by_one_half(self):
+        """erfc(x)/2 <= 1/2 for x >= 0: the Gaussian model never exceeds 0.5."""
+        sizes = np.array([1.0, 10.0, 100.0, 1000.0])
+        matrix = misranking_matrix_gaussian(sizes, 0.01)
+        assert matrix.max() <= 0.5 + 1e-12
+
+    def test_decreases_with_rate(self):
+        rates = [0.001, 0.01, 0.1, 0.5, 0.99]
+        values = [float(misranking_probability_gaussian(200, 300, p)) for p in rates]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_fixed_gap_worsens_with_size(self):
+        """Paper: ranking flows that differ by k packets is harder when both are large."""
+        gap = 10
+        small = float(misranking_probability_gaussian(50, 50 + gap, 0.05))
+        large = float(misranking_probability_gaussian(5000, 5000 + gap, 0.05))
+        assert large > small
+
+    def test_fixed_ratio_improves_with_size(self):
+        """Paper: ranking flows with a fixed size ratio is easier when both are large."""
+        ratio = 0.8
+        small = float(misranking_probability_gaussian(80, 100, 0.05))
+        large = float(misranking_probability_gaussian(8000, 10000, 0.05))
+        assert large < small
+        assert small == pytest.approx(
+            float(misranking_probability_gaussian(100 * ratio, 100, 0.05))
+        )
+
+    def test_broadcasts_over_arrays(self):
+        sizes = np.array([10.0, 100.0, 1000.0])
+        result = misranking_probability_gaussian(sizes[:, None], sizes[None, :], 0.01)
+        assert result.shape == (3, 3)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            misranking_probability_gaussian(10, 20, 0.0)
+        with pytest.raises(ValueError):
+            misranking_probability_gaussian(-5, 20, 0.1)
+
+
+class TestApproximationQuality:
+    def test_small_error_when_one_flow_is_large(self):
+        """Paper, Fig. 3: error is negligible when p*S is a few packets for one flow."""
+        error = gaussian_absolute_error(50, 800, 0.01)
+        assert error < 0.05
+
+    def test_error_can_be_large_when_both_flows_small(self):
+        error = gaussian_absolute_error(1, 2, 0.01)
+        assert error > 0.2
+
+    def test_error_shrinks_with_rate(self):
+        low = gaussian_absolute_error(40, 60, 0.01)
+        high = gaussian_absolute_error(40, 60, 0.3)
+        assert high <= low + 1e-9
+
+    def test_matches_exact_closely_for_moderate_products(self):
+        exact = misranking_probability_exact(400, 600, 0.05)
+        approx = float(misranking_probability_gaussian(400, 600, 0.05))
+        assert approx == pytest.approx(exact, abs=0.02)
+
+
+class TestErrorSurface:
+    def test_surface_shape_and_symmetry(self):
+        sizes = np.array([1, 3, 10, 30, 100])
+        surface = gaussian_error_surface(sizes, 0.01)
+        assert surface.errors.shape == (5, 5)
+        np.testing.assert_allclose(surface.errors, surface.errors.T)
+
+    def test_max_error_above_threshold_is_small(self):
+        """Reproduces Fig. 3's reading: error ~ 0 once one flow exceeds ~300 packets at 1%."""
+        sizes = np.array([1, 2, 5, 10, 50, 100, 300, 600, 1000])
+        surface = gaussian_error_surface(sizes, 0.01)
+        assert surface.max_error_above(300) < 0.1
+        assert surface.max_error > surface.max_error_above(300)
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            gaussian_error_surface(np.array([]), 0.01)
+
+    def test_max_error_above_rejects_unreachable_threshold(self):
+        surface = gaussian_error_surface(np.array([1, 2, 3]), 0.01)
+        with pytest.raises(ValueError):
+            surface.max_error_above(10_000)

@@ -1,0 +1,152 @@
+"""Tests for the heavy-hitter baselines (smart sampling, sample-and-hold, sketch)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flows.keys import FiveTuple
+from repro.flows.packets import Packet
+from repro.flows.records import FlowSummary
+from repro.sampling import MultistageFilter, SampleAndHold, SmartFlowSampler
+
+
+def flow_summary(key: str, packets: int) -> FlowSummary:
+    return FlowSummary(key=key, packets=packets, bytes=packets * 500, first_seen=0.0, last_seen=1.0)
+
+
+def packets_for(sport: int, count: int) -> list[Packet]:
+    five_tuple = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", sport, 80)
+    return [Packet(float(i) * 1e-3, five_tuple) for i in range(count)]
+
+
+class TestSmartFlowSampler:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            SmartFlowSampler(threshold_packets=0.0)
+
+    def test_keep_probability_formula(self):
+        sampler = SmartFlowSampler(threshold_packets=100.0)
+        assert sampler.keep_probability(50) == pytest.approx(0.5)
+        assert sampler.keep_probability(500) == 1.0
+
+    def test_large_flows_always_kept(self):
+        sampler = SmartFlowSampler(threshold_packets=10.0, rng=0)
+        flows = [flow_summary(f"big{i}", 100) for i in range(20)]
+        kept = sampler.sample_records(flows)
+        assert len(kept) == 20
+
+    def test_small_flows_thinned(self):
+        sampler = SmartFlowSampler(threshold_packets=100.0, rng=0)
+        flows = [flow_summary(f"small{i}", 1) for i in range(2_000)]
+        kept = sampler.sample_records(flows)
+        assert len(kept) == pytest.approx(20, abs=15)
+
+    def test_estimates_never_below_threshold(self):
+        sampler = SmartFlowSampler(threshold_packets=50.0, rng=0)
+        kept = sampler.sample_records([flow_summary("f", 10) for _ in range(200)])
+        assert all(record.estimated_packets == 50.0 for record in kept)
+
+    def test_expected_kept_records(self):
+        sampler = SmartFlowSampler(threshold_packets=10.0)
+        assert sampler.expected_kept_records([1, 5, 10, 100]) == pytest.approx(0.1 + 0.5 + 1.0 + 1.0)
+
+    def test_rank_top_orders_by_estimate(self):
+        sampler = SmartFlowSampler(threshold_packets=1.0, rng=0)
+        flows = [flow_summary("a", 10), flow_summary("b", 100), flow_summary("c", 50)]
+        top = sampler.rank_top(flows, count=2)
+        assert [record.flow.key for record in top] == ["b", "c"]
+
+
+class TestSampleAndHold:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            SampleAndHold(sampling_rate=0.0)
+
+    def test_counts_every_packet_after_admission(self):
+        tracker = SampleAndHold(sampling_rate=1.0)
+        tracker.observe_many(packets_for(1111, 50))
+        assert tracker.counts()[next(iter(tracker.counts()))] == 50
+
+    def test_large_flows_detected_with_small_rate(self):
+        tracker = SampleAndHold(sampling_rate=0.05, rng=0)
+        tracker.observe_many(packets_for(1111, 2_000))  # elephant
+        for sport in range(2000, 2050):
+            tracker.observe_many(packets_for(sport, 1))  # mice
+        top_key, top_estimate = tracker.top(1)[0]
+        assert top_estimate > 1_000
+
+    def test_memory_bound_evicts(self):
+        tracker = SampleAndHold(sampling_rate=1.0, max_entries=2, rng=0)
+        tracker.observe_many(packets_for(1, 5))
+        tracker.observe_many(packets_for(2, 3))
+        tracker.observe_many(packets_for(3, 1))
+        assert tracker.tracked_flows == 2
+        assert tracker.evictions == 1
+
+    def test_estimated_sizes_include_admission_correction(self):
+        tracker = SampleAndHold(sampling_rate=0.1, rng=0)
+        tracker.observe_many(packets_for(1111, 500))
+        counts = tracker.counts()
+        estimates = tracker.estimated_sizes()
+        for key in counts:
+            assert estimates[key] == pytest.approx(counts[key] + 9.0)
+
+    def test_reset(self):
+        tracker = SampleAndHold(sampling_rate=1.0)
+        tracker.observe_many(packets_for(1, 5))
+        tracker.reset()
+        assert tracker.tracked_flows == 0
+
+    def test_top_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            SampleAndHold(sampling_rate=0.5).top(0)
+
+
+class TestMultistageFilter:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            MultistageFilter(width=0)
+        with pytest.raises(ValueError):
+            MultistageFilter(depth=0)
+
+    def test_never_underestimates(self):
+        sketch = MultistageFilter(width=64, depth=4, seed=1)
+        true_counts = {}
+        rng = np.random.default_rng(0)
+        for sport in range(50):
+            count = int(rng.integers(1, 30))
+            true_counts[sport] = count
+            sketch.observe_many(packets_for(sport, count))
+        for sport, count in true_counts.items():
+            key = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", sport, 80)
+            assert sketch.estimate(key) >= count
+
+    def test_accurate_for_dominant_flow(self):
+        sketch = MultistageFilter(width=512, depth=4, seed=1)
+        sketch.observe_many(packets_for(9999, 300))
+        for sport in range(100):
+            sketch.observe_many(packets_for(sport, 2))
+        key = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", 9999, 80)
+        assert sketch.estimate(key) == pytest.approx(300, rel=0.1)
+
+    def test_heavy_hitters_selection(self):
+        sketch = MultistageFilter(width=512, depth=4, seed=1)
+        sketch.observe_many(packets_for(9999, 200))
+        sketch.observe_many(packets_for(1111, 5))
+        big = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", 9999, 80)
+        small = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", 1111, 80)
+        hitters = sketch.heavy_hitters([big, small], threshold=100)
+        assert [key for key, _ in hitters] == [big]
+
+    def test_heavy_hitters_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MultistageFilter().heavy_hitters([], threshold=0)
+
+    def test_reset_clears_counters(self):
+        sketch = MultistageFilter(width=64, depth=2)
+        sketch.observe_many(packets_for(1, 10))
+        sketch.reset()
+        key = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", 1, 80)
+        assert sketch.estimate(key) == 0
+        assert sketch.packets_seen == 0

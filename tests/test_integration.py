@@ -1,0 +1,126 @@
+"""Integration tests across modules: model vs simulation, object vs vector paths."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flow_size_model import FlowPopulation
+from repro.core.metrics import ranking_swapped_pairs
+from repro.core.ranking import RankingModel
+from repro.distributions import EmpiricalFlowSizes, ParetoFlowSizes
+from repro.flows.classifier import FlowClassifier
+from repro.flows.keys import FiveTupleKeyPolicy
+from repro.flows.packets import Packet
+from repro.flows.table import BinnedFlowTable
+from repro.sampling import BernoulliSampler
+from repro.simulation import SimulationConfig, run_trace_simulation
+from repro.traces import SyntheticTraceGenerator, expand_to_packets, sprint_like_config
+
+
+class TestModelAgainstMonteCarlo:
+    def test_ranking_model_predicts_monte_carlo_average(self, rng):
+        """The analytical metric must match a direct Monte-Carlo estimate.
+
+        We build a small synthetic population of known sizes, sample it
+        many times, count swapped pairs empirically and compare with the
+        analytical expectation computed from the empirical flow size
+        distribution.  This closes the loop between Sections 5 and 8 of
+        the paper.
+        """
+        num_flows, top_t, rate = 300, 3, 0.15
+        dist = ParetoFlowSizes.from_mean(mean=12.0, shape=1.5)
+        original = dist.sample_packets(num_flows, rng)
+
+        population = FlowPopulation.from_grid(
+            EmpiricalFlowSizes(original).discretize(), total_flows=num_flows
+        )
+        predicted = RankingModel(population, top_t=top_t).swapped_pairs(rate)
+
+        runs = 300
+        counts = []
+        for _ in range(runs):
+            sampled = rng.binomial(original, rate)
+            counts.append(ranking_swapped_pairs(original, sampled, top_t))
+        observed = float(np.mean(counts))
+
+        # The analytical model averages over flow-size realisations while
+        # the Monte-Carlo run uses a single fixed realisation, so we only
+        # require agreement within a factor of ~3.
+        assert predicted == pytest.approx(observed, rel=2.0)
+        assert (predicted > 1.0) == (observed > 1.0) or min(predicted, observed) > 0.3
+
+
+class TestObjectAndVectorPathsAgree:
+    def test_classifier_matches_binned_counts(self, rng):
+        """The object-level classifier and the vectorised path count the same flows."""
+        config = sprint_like_config(scale=0.001, duration=120.0)
+        trace = SyntheticTraceGenerator(config).generate(rng=17)
+        batch = expand_to_packets(trace, rng=18)
+
+        table = BinnedFlowTable(bin_duration=60.0, key_policy=FiveTupleKeyPolicy())
+        for timestamp, flow_id in zip(batch.timestamps, batch.flow_ids):
+            table.observe(Packet(float(timestamp), trace.five_tuple(int(flow_id))))
+        bins = table.flush()
+
+        from repro.simulation.binning import build_bin_layouts
+
+        layouts = build_bin_layouts(batch, trace.group_ids(FiveTupleKeyPolicy()), 60.0)
+        assert len(bins) == len(layouts)
+        for flow_bin, layout in zip(bins, layouts):
+            assert flow_bin.total_packets == layout.num_packets
+            assert flow_bin.num_flows == layout.num_flows
+            object_sizes = sorted(flow.packets for flow in flow_bin.flows)
+            vector_sizes = sorted(layout.original_counts.tolist())
+            assert object_sizes == vector_sizes
+
+    def test_sampled_classification_matches_model_inputs(self, rng):
+        """Sampling then classifying equals classifying then thinning counts."""
+        config = sprint_like_config(scale=0.001, duration=60.0)
+        trace = SyntheticTraceGenerator(config).generate(rng=19)
+        batch = expand_to_packets(trace, rng=20)
+        sampler = BernoulliSampler(0.3, rng=21)
+        mask = sampler.sample_mask(batch)
+
+        classifier = FlowClassifier()
+        for keep, timestamp, flow_id in zip(mask, batch.timestamps, batch.flow_ids):
+            if keep:
+                classifier.observe(Packet(float(timestamp), trace.five_tuple(int(flow_id))))
+        object_total = sum(flow.packets for flow in classifier.export())
+        assert object_total == int(mask.sum())
+
+
+class TestEndToEndPipeline:
+    def test_simulation_confirms_model_ordering(self):
+        """Trace simulation and analytical model agree on which rates are viable."""
+        config = sprint_like_config(scale=0.004, duration=600.0)
+        trace = SyntheticTraceGenerator(config).generate(rng=23)
+        sim_config = SimulationConfig(
+            bin_duration=300.0,
+            top_t=5,
+            sampling_rates=(0.001, 0.1, 0.5),
+            num_runs=5,
+            seed=23,
+        )
+        result = run_trace_simulation(trace, sim_config)
+
+        means = [result.series("ranking", rate).overall_mean for rate in (0.001, 0.1, 0.5)]
+        assert means[0] > means[1] > means[2]
+        # 0.1% sampling must be hopeless, exactly as the paper observes.
+        assert means[0] > 100.0
+
+    def test_detection_beats_ranking_in_simulation(self):
+        config = sprint_like_config(scale=0.004, duration=300.0)
+        trace = SyntheticTraceGenerator(config).generate(rng=29)
+        sim_config = SimulationConfig(
+            bin_duration=150.0,
+            top_t=10,
+            sampling_rates=(0.1,),
+            num_runs=5,
+            seed=29,
+        )
+        result = run_trace_simulation(trace, sim_config)
+        assert (
+            result.series("detection", 0.1).overall_mean
+            <= result.series("ranking", 0.1).overall_mean
+        )

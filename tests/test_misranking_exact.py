@@ -1,0 +1,133 @@
+"""Tests for the exact pairwise misranking probability (Section 3, Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.misranking import (
+    minimum_misranking_probability,
+    misranking_matrix_exact,
+    misranking_probability_equal_sizes,
+    misranking_probability_exact,
+    probability_larger_flow_sampled,
+)
+
+
+def brute_force_misranking(size_small: int, size_large: int, rate: float) -> float:
+    """Reference computation by direct enumeration of the joint binomial pmf."""
+    from scipy.stats import binom
+
+    total = 0.0
+    for i in range(size_small + 1):
+        for j in range(size_large + 1):
+            if i >= j:
+                total += binom.pmf(i, size_small, rate) * binom.pmf(j, size_large, rate)
+    return total
+
+
+class TestExactProbability:
+    @pytest.mark.parametrize(
+        "small,large,rate",
+        [(3, 7, 0.3), (5, 5, 0.2), (1, 20, 0.1), (10, 12, 0.5), (2, 3, 0.9)],
+    )
+    def test_matches_brute_force(self, small, large, rate):
+        expected = (
+            brute_force_misranking(small, large, rate)
+            if small != large
+            else misranking_probability_equal_sizes(small, rate)
+        )
+        assert misranking_probability_exact(small, large, rate) == pytest.approx(expected, abs=1e-12)
+
+    def test_symmetric_in_sizes(self):
+        assert misranking_probability_exact(10, 40, 0.05) == pytest.approx(
+            misranking_probability_exact(40, 10, 0.05)
+        )
+
+    def test_full_sampling_never_misranks_distinct_sizes(self):
+        assert misranking_probability_exact(10, 11, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_tends_to_one_as_rate_vanishes(self):
+        assert misranking_probability_exact(10, 20, 1e-4) > 0.95
+
+    def test_decreases_with_rate(self):
+        rates = [0.01, 0.05, 0.1, 0.3, 0.7]
+        values = [misranking_probability_exact(30, 60, p) for p in rates]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_decreases_as_size_gap_grows(self):
+        """Paper, Section 3.1: Pm(S1, S2) >= Pm(S1 - k, S2)."""
+        base = misranking_probability_exact(50, 60, 0.1)
+        for smaller in (40, 30, 20, 10, 1):
+            assert misranking_probability_exact(smaller, 60, 0.1) <= base + 1e-12
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            misranking_probability_exact(5, 10, 0.0)
+        with pytest.raises(ValueError):
+            misranking_probability_exact(5, 10, 1.5)
+
+    def test_rejects_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            misranking_probability_exact(0, 10, 0.5)
+
+    def test_probability_in_unit_interval(self):
+        for small, large, rate in [(3, 1000, 0.01), (500, 501, 0.001), (1, 1, 0.5)]:
+            value = misranking_probability_exact(small, large, rate)
+            assert 0.0 <= value <= 1.0
+
+
+class TestEqualSizes:
+    def test_formula_against_direct_sum(self):
+        from scipy.stats import binom
+
+        size, rate = 12, 0.3
+        expected = 1.0 - sum(binom.pmf(i, size, rate) ** 2 for i in range(1, size + 1))
+        assert misranking_probability_equal_sizes(size, rate) == pytest.approx(expected)
+
+    def test_full_sampling_equal_sizes_still_tie(self):
+        """Two equal flows can never be strictly ordered, even at p = 1."""
+        assert misranking_probability_equal_sizes(10, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_packet_flows_at_low_rate(self):
+        # Correct ranking needs both packets sampled: probability p^2.
+        rate = 0.2
+        assert misranking_probability_equal_sizes(1, rate) == pytest.approx(1.0 - rate**2)
+
+
+class TestMinimumMisranking:
+    def test_matches_exact_probability_vs_one_packet_flow(self):
+        for size in (5, 20, 100):
+            assert minimum_misranking_probability(size, 0.1) == pytest.approx(
+                misranking_probability_exact(1, size, 0.1), abs=1e-12
+            )
+
+    def test_vanishes_for_large_flows(self):
+        assert minimum_misranking_probability(5000, 0.05) < 1e-50
+
+    def test_is_lower_bound_over_opponents(self):
+        size, rate = 40, 0.1
+        floor = minimum_misranking_probability(size, rate)
+        for other in (2, 5, 10, 20, 39):
+            assert misranking_probability_exact(other, size, rate) >= floor - 1e-12
+
+
+class TestMatrixAndSamplingHelpers:
+    def test_matrix_symmetric_with_equal_size_diagonal(self):
+        sizes = np.array([2, 5, 9, 20])
+        matrix = misranking_matrix_exact(sizes, 0.2)
+        np.testing.assert_allclose(matrix, matrix.T)
+        for idx, size in enumerate(sizes):
+            assert matrix[idx, idx] == pytest.approx(
+                misranking_probability_equal_sizes(int(size), 0.2)
+            )
+
+    def test_matrix_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            misranking_matrix_exact(np.array([[1, 2]]), 0.2)
+        with pytest.raises(ValueError):
+            misranking_matrix_exact(np.array([0, 2]), 0.2)
+
+    def test_probability_larger_flow_sampled(self):
+        assert probability_larger_flow_sampled(10, 0.1) == pytest.approx(1 - 0.9**10)
+        assert probability_larger_flow_sampled(1, 1.0) == pytest.approx(1.0)

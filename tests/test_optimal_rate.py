@@ -1,0 +1,126 @@
+"""Tests for the optimal sampling rate solvers (Section 3.2, Figs. 1-2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.misranking import misranking_probability_exact
+from repro.core.optimal_rate import (
+    PAPER_TARGET_MISRANKING,
+    gaussian_rate_is_consistent,
+    optimal_rate_exact,
+    optimal_rate_gaussian,
+    optimal_rate_surface,
+    optimal_sampling_rate,
+    verify_rate_achieves_target,
+)
+
+
+class TestGaussianSolver:
+    def test_equal_sizes_require_full_capture(self):
+        assert optimal_rate_gaussian(100, 100, 1e-3) == 1.0
+
+    def test_loose_target_requires_no_sampling(self):
+        assert optimal_rate_gaussian(10, 1000, 0.6) == 0.0
+
+    def test_rate_achieves_its_own_target(self):
+        for sizes in [(100, 150), (10, 400), (900, 1000)]:
+            assert gaussian_rate_is_consistent(*sizes, target=1e-3)
+
+    def test_rate_decreases_with_size_gap(self):
+        rates = [optimal_rate_gaussian(100, 100 + gap, 1e-3) for gap in (1, 10, 50, 200)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_fixed_ratio_rate_decreases_with_size(self):
+        """Fig. 1 reading: the surface narrows (log scale) as sizes grow."""
+        small = optimal_rate_gaussian(50, 100, 1e-3)
+        large = optimal_rate_gaussian(500, 1000, 1e-3)
+        assert large < small
+
+    def test_fixed_gap_rate_increases_with_size(self):
+        """Fig. 2 reading: the surface widens (linear scale) as sizes grow."""
+        small = optimal_rate_gaussian(50, 60, 1e-3)
+        large = optimal_rate_gaussian(900, 910, 1e-3)
+        assert large > small
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            optimal_rate_gaussian(10, 20, 0.0)
+        with pytest.raises(ValueError):
+            optimal_rate_gaussian(10, 20, 1.0)
+
+
+class TestExactSolver:
+    def test_exact_rate_achieves_target(self):
+        rate = optimal_rate_exact(50, 200, 1e-2)
+        assert verify_rate_achieves_target(50, 200, rate, 1e-2)
+
+    def test_slightly_lower_rate_misses_target(self):
+        target = 1e-2
+        rate = optimal_rate_exact(50, 200, target, tolerance=1e-4)
+        if rate > 0.01:
+            assert misranking_probability_exact(50, 200, rate * 0.9) > target
+
+    def test_equal_sizes_need_near_full_capture(self):
+        """Two equal flows only rank correctly when (almost) every packet is kept."""
+        assert optimal_rate_exact(30, 30, 1e-3) > 0.99
+
+    def test_agrees_with_gaussian_for_large_flows(self):
+        exact = optimal_rate_exact(400, 800, 1e-3)
+        gaussian = optimal_rate_gaussian(400, 800, 1e-3)
+        assert gaussian == pytest.approx(exact, abs=0.05)
+
+
+class TestDispatchAndSurface:
+    def test_dispatch_methods(self):
+        assert optimal_sampling_rate(100, 200, method="gaussian") == pytest.approx(
+            optimal_rate_gaussian(100, 200, PAPER_TARGET_MISRANKING)
+        )
+        assert optimal_sampling_rate(100, 200, method="exact") == pytest.approx(
+            optimal_rate_exact(100, 200, PAPER_TARGET_MISRANKING), abs=1e-3
+        )
+
+    def test_dispatch_rejects_unknown_method(self):
+        with pytest.raises(ValueError):
+            optimal_sampling_rate(10, 20, method="bogus")
+
+    def test_surface_diagonal_is_full_capture(self):
+        sizes = np.array([1.0, 10.0, 100.0, 1000.0])
+        surface = optimal_rate_surface(sizes)
+        np.testing.assert_allclose(surface.diagonal(), 1.0)
+
+    def test_surface_decays_away_from_diagonal(self):
+        sizes = np.array([10.0, 50.0, 250.0, 1000.0])
+        surface = optimal_rate_surface(sizes)
+        # Moving along a row away from the diagonal, the rate decreases.
+        rates = surface.rates
+        for i in range(len(sizes)):
+            off_diag = [rates[i, j] for j in range(len(sizes)) if j != i]
+            assert max(off_diag) <= rates[i, i]
+
+    def test_surface_percent_view(self):
+        sizes = np.array([10.0, 100.0])
+        surface = optimal_rate_surface(sizes)
+        np.testing.assert_allclose(surface.rates_percent, surface.rates * 100.0)
+
+    def test_surface_matches_scalar_solver(self):
+        sizes_a = np.array([20.0, 60.0])
+        sizes_b = np.array([30.0, 90.0])
+        surface = optimal_rate_surface(sizes_a, sizes_b)
+        for i, a in enumerate(sizes_a):
+            for j, b in enumerate(sizes_b):
+                assert surface.rates[i, j] == pytest.approx(
+                    optimal_rate_gaussian(a, b, PAPER_TARGET_MISRANKING)
+                )
+
+    def test_diagonal_requires_square_identical_axes(self):
+        surface = optimal_rate_surface(np.array([1.0, 2.0]), np.array([3.0, 4.0]))
+        with pytest.raises(ValueError):
+            surface.diagonal()
+
+    def test_exact_surface_small_grid(self):
+        sizes = np.array([5.0, 25.0])
+        surface = optimal_rate_surface(sizes, target=1e-2, method="exact")
+        assert surface.rates.shape == (2, 2)
+        assert np.all((surface.rates > 0.0) & (surface.rates <= 1.0))

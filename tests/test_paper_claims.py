@@ -1,0 +1,137 @@
+"""End-to-end checks of the paper's headline claims (Section 6.4 and Section 9).
+
+These tests tie the analytical models to the qualitative statements the
+paper makes, which is the core of what "reproducing the paper" means:
+
+1. ranking the largest flows needs a high sampling rate (10% and more);
+2. a 1% rate only suffices for the top few flows;
+3. heavier-tailed flow size distributions rank better;
+4. more flows on the link rank better; with millions of flows even 0.1%
+   can be enough;
+5. detection needs roughly an order of magnitude less than ranking;
+6. the /24 aggregation does not significantly improve the ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detection import DetectionModel
+from repro.core.flow_size_model import FlowPopulation
+from repro.core.ranking import RankingModel
+from repro.core.rate_planning import required_sampling_rate
+from repro.distributions import ParetoFlowSizes
+from repro.experiments.config import FIVE_TUPLE, PREFIX_24
+
+
+@pytest.fixture(scope="module")
+def five_tuple_population() -> FlowPopulation:
+    return FlowPopulation.from_distribution(FIVE_TUPLE.pareto(1.5), FIVE_TUPLE.total_flows)
+
+
+@pytest.fixture(scope="module")
+def prefix_population() -> FlowPopulation:
+    return FlowPopulation.from_distribution(PREFIX_24.pareto(1.5), PREFIX_24.total_flows)
+
+
+class TestClaimHighRateNeededForRanking:
+    def test_top_ten_not_rankable_at_one_percent(self, five_tuple_population):
+        model = RankingModel(five_tuple_population, top_t=10)
+        assert model.swapped_pairs(0.01) > 1.0
+
+    def test_top_ten_not_rankable_at_point_one_percent(self, five_tuple_population):
+        model = RankingModel(five_tuple_population, top_t=10)
+        assert model.swapped_pairs(0.001) > 100.0
+
+    def test_top_twenty_five_needs_near_full_capture(self, five_tuple_population):
+        model = RankingModel(five_tuple_population, top_t=25)
+        assert model.swapped_pairs(0.5) > 1.0
+
+
+class TestClaimOnePercentRanksTopFew:
+    def test_top_one_and_two_rankable_at_one_percent(self, five_tuple_population):
+        for top_t in (1, 2):
+            model = RankingModel(five_tuple_population, top_t=top_t)
+            assert model.swapped_pairs(0.01) < 1.0
+
+    def test_top_five_borderline_at_one_percent(self, five_tuple_population):
+        """The paper says 1% ranks 'at most the top 5 flows'."""
+        model = RankingModel(five_tuple_population, top_t=5)
+        assert model.swapped_pairs(0.01) < 10.0
+
+
+class TestClaimHeavierTailHelps:
+    @pytest.mark.parametrize("rate", [0.01, 0.1])
+    def test_metric_ordered_by_beta(self, rate):
+        values = []
+        for beta in (1.2, 1.5, 2.0, 3.0):
+            population = FlowPopulation.from_distribution(
+                FIVE_TUPLE.pareto(beta), 100_000, grid_points=250
+            )
+            values.append(RankingModel(population, top_t=10).swapped_pairs(rate))
+        assert values == sorted(values)
+
+
+class TestClaimMoreFlowsHelp:
+    def test_metric_decreases_with_total_flows(self):
+        values = []
+        for factor in (0.2, 1.0, 5.0):
+            population = FlowPopulation.from_distribution(
+                FIVE_TUPLE.pareto(1.5), FIVE_TUPLE.scaled_total_flows(factor), grid_points=250
+            )
+            values.append(RankingModel(population, top_t=10).swapped_pairs(0.01))
+        assert values[0] > values[1] > values[2]
+
+    def test_millions_of_flows_work_at_one_percent(self):
+        """Summary point (3): 'For millions of flows, a 1% sampling rate gives
+        good results'; and low rates improve dramatically compared with the
+        baseline N."""
+        large = FlowPopulation.from_distribution(
+            FIVE_TUPLE.pareto(1.5), 3_500_000, grid_points=250
+        )
+        baseline = FlowPopulation.from_distribution(
+            FIVE_TUPLE.pareto(1.5), FIVE_TUPLE.total_flows, grid_points=250
+        )
+        large_model = RankingModel(large, top_t=10)
+        baseline_model = RankingModel(baseline, top_t=10)
+        # With 5x the flows, 1% sampling brings the top-10 ranking close to
+        # the acceptance threshold (the paper's figure shows the same trend;
+        # see EXPERIMENTS.md for the quantitative deviation) and low rates
+        # improve by more than an order of magnitude.
+        assert large_model.swapped_pairs(0.01) < 10.0
+        assert large_model.swapped_pairs(0.01) < baseline_model.swapped_pairs(0.01)
+        assert large_model.swapped_pairs(0.001) < baseline_model.swapped_pairs(0.001) / 10.0
+
+
+class TestClaimDetectionIsCheaper:
+    def test_detection_metric_an_order_of_magnitude_below_ranking(self, five_tuple_population):
+        ranking = RankingModel(five_tuple_population, top_t=10)
+        detection = DetectionModel(five_tuple_population, top_t=10)
+        rate = 0.1
+        assert detection.swapped_pairs(rate) < ranking.swapped_pairs(rate) / 5.0
+
+    def test_required_rate_gain(self, five_tuple_population):
+        ranking_plan = required_sampling_rate(five_tuple_population, 10, "ranking")
+        detection_plan = required_sampling_rate(five_tuple_population, 10, "detection")
+        assert detection_plan.feasible
+        if ranking_plan.feasible:
+            assert detection_plan.required_rate < ranking_plan.required_rate / 2.0
+
+    def test_detection_of_top_ten_feasible_near_ten_percent(self, five_tuple_population):
+        detection = DetectionModel(five_tuple_population, top_t=10)
+        assert detection.swapped_pairs(0.15) < 1.0
+
+
+class TestClaimPrefixAggregationDoesNotHelpMuch:
+    def test_prefix_flows_still_need_about_one_percent_for_top_few(self, prefix_population):
+        model = RankingModel(prefix_population, top_t=5)
+        assert model.swapped_pairs(0.001) > 1.0  # 0.1% is not enough
+        assert model.swapped_pairs(0.05) < 1.0  # a few percent is
+
+    def test_no_dramatic_gain_over_five_tuple(self, five_tuple_population, prefix_population):
+        """Required rates for top-10 ranking stay in the same ballpark."""
+        five_tuple = required_sampling_rate(five_tuple_population, 10, "ranking")
+        prefix = required_sampling_rate(prefix_population, 10, "ranking")
+        if five_tuple.feasible and prefix.feasible:
+            ratio = five_tuple.required_rate / prefix.required_rate
+            assert 0.1 < ratio < 10.0

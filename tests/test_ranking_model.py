@@ -1,0 +1,125 @@
+"""Tests for the top-t ranking model (Section 5 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flow_size_model import FlowPopulation
+from repro.core.ranking import RankingModel
+from repro.distributions import DiscreteFlowSizes, ParetoFlowSizes
+
+
+class TestConstruction:
+    def test_rejects_top_t_of_zero(self, small_population):
+        with pytest.raises(ValueError):
+            RankingModel(small_population, top_t=0)
+
+    def test_rejects_top_t_not_below_total_flows(self, small_population):
+        with pytest.raises(ValueError):
+            RankingModel(small_population, top_t=small_population.total_flows)
+
+    def test_rejects_unknown_method(self, small_population):
+        with pytest.raises(ValueError):
+            RankingModel(small_population, top_t=5, method="bogus")
+
+    def test_population_validation(self, pareto_five_tuple):
+        with pytest.raises(ValueError):
+            FlowPopulation.from_distribution(pareto_five_tuple, total_flows=1)
+
+
+class TestTopFlowSizeDistribution:
+    def test_pmf_sums_to_one(self, small_population):
+        # The identity sum_i p_i * Pt(i, t, N) = t / N is exact for a
+        # continuous distribution; the log-spaced discretisation leaves a
+        # few percent of quadrature error.
+        model = RankingModel(small_population, top_t=5)
+        assert model.top_flow_size_pmf().sum() == pytest.approx(1.0, rel=0.15)
+
+    def test_top_flows_are_larger_on_average(self, small_population):
+        model = RankingModel(small_population, top_t=5)
+        top_pmf = model.top_flow_size_pmf()
+        top_mean = float(np.dot(small_population.sizes, top_pmf))
+        assert top_mean > 10 * small_population.mean_flow_size
+
+    def test_larger_t_gives_smaller_top_sizes(self, small_population):
+        mean_of = {}
+        for top_t in (1, 25):
+            pmf = RankingModel(small_population, top_t=top_t).top_flow_size_pmf()
+            mean_of[top_t] = float(np.dot(small_population.sizes, pmf))
+        assert mean_of[1] > mean_of[25]
+
+
+class TestMetricBehaviour:
+    def test_metric_decreases_with_sampling_rate(self, small_population):
+        model = RankingModel(small_population, top_t=10)
+        curve = model.metric_curve([0.001, 0.01, 0.1, 0.5, 1.0])
+        assert all(a >= b - 1e-9 for a, b in zip(curve, curve[1:]))
+
+    def test_metric_increases_with_top_t(self, small_population):
+        values = [RankingModel(small_population, t).swapped_pairs(0.05) for t in (1, 5, 25)]
+        assert values[0] < values[1] < values[2]
+
+    def test_mean_misranking_probability_in_unit_interval(self, small_population):
+        model = RankingModel(small_population, top_t=10)
+        for rate in (0.001, 0.05, 0.5, 1.0):
+            assert 0.0 <= model.mean_misranking_probability(rate) <= 1.0
+
+    def test_metric_bounded_by_pair_count(self, small_population):
+        model = RankingModel(small_population, top_t=10)
+        accuracy = model.evaluate(0.001)
+        assert accuracy.swapped_pairs <= accuracy.pair_count
+
+    def test_full_capture_nearly_perfect(self, small_population):
+        # At p = 1 the only residual "errors" come from grid points treated
+        # as ties by the Gaussian model; the metric must be tiny compared
+        # with any sampled operating point.
+        model = RankingModel(small_population, top_t=5)
+        assert model.swapped_pairs(1.0) < 2.0
+        assert model.swapped_pairs(1.0) < 0.05 * model.swapped_pairs(0.01)
+
+    def test_heavier_tail_ranks_better(self):
+        """Section 6.2: smaller beta (heavier tail) improves the ranking."""
+        values = {}
+        for beta in (1.2, 2.5):
+            dist = ParetoFlowSizes.from_mean(mean=9.6, shape=beta)
+            population = FlowPopulation.from_distribution(dist, total_flows=50_000, grid_points=200)
+            values[beta] = RankingModel(population, top_t=10).swapped_pairs(0.1)
+        assert values[1.2] < values[2.5]
+
+    def test_more_flows_rank_better(self, pareto_five_tuple):
+        """Section 6.3: larger N improves the ranking at a fixed rate."""
+        values = {}
+        for total in (10_000, 1_000_000):
+            population = FlowPopulation.from_distribution(
+                pareto_five_tuple, total_flows=total, grid_points=200
+            )
+            values[total] = RankingModel(population, top_t=10).swapped_pairs(0.01)
+        assert values[1_000_000] < values[10_000]
+
+    def test_evaluate_rejects_bad_rate(self, small_population):
+        model = RankingModel(small_population, top_t=5)
+        with pytest.raises(ValueError):
+            model.evaluate(0.0)
+
+    def test_accuracy_acceptable_flag(self, small_population):
+        model = RankingModel(small_population, top_t=1)
+        assert model.evaluate(1.0).acceptable
+        assert not model.evaluate(0.0005).acceptable
+
+
+class TestExactVersusGaussian:
+    def test_exact_and_gaussian_agree_on_discrete_population(self, discrete_population):
+        gaussian = RankingModel(discrete_population, top_t=3, method="gaussian")
+        exact = RankingModel(discrete_population, top_t=3, method="exact")
+        for rate in (0.1, 0.3, 0.6):
+            g = gaussian.swapped_pairs(rate)
+            e = exact.swapped_pairs(rate)
+            # The Gaussian approximation is crude for tiny flows, but the
+            # two engines must agree on the order of magnitude.
+            assert g == pytest.approx(e, rel=0.6, abs=1.0)
+
+    def test_exact_engine_monotone_in_rate(self, discrete_population):
+        model = RankingModel(discrete_population, top_t=3, method="exact")
+        curve = model.metric_curve([0.05, 0.2, 0.5, 0.9])
+        assert all(a >= b - 1e-9 for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,75 @@
+"""Tests for the required-sampling-rate planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow_size_model import FlowPopulation
+from repro.core.ranking import RankingModel
+from repro.core.rate_planning import ranking_vs_detection_gain, required_sampling_rate
+from repro.distributions import ParetoFlowSizes
+
+
+class TestRequiredSamplingRate:
+    def test_returned_rate_meets_target(self, small_population):
+        plan = required_sampling_rate(small_population, top_t=5, problem="ranking")
+        assert plan.feasible
+        assert plan.achieved_swapped_pairs <= plan.target_swapped_pairs
+
+    def test_rate_is_roughly_minimal(self, small_population):
+        plan = required_sampling_rate(small_population, top_t=5, problem="ranking", tolerance=0.01)
+        model = RankingModel(small_population, top_t=5)
+        if plan.required_rate is not None and plan.required_rate > 2e-4:
+            assert model.swapped_pairs(plan.required_rate * 0.8) > plan.target_swapped_pairs
+
+    def test_detection_needs_lower_rate_than_ranking(self, small_population):
+        ranking = required_sampling_rate(small_population, top_t=10, problem="ranking")
+        detection = required_sampling_rate(small_population, top_t=10, problem="detection")
+        if ranking.feasible and detection.feasible:
+            assert detection.required_rate <= ranking.required_rate
+
+    def test_larger_t_needs_higher_rate(self, small_population):
+        small_t = required_sampling_rate(small_population, top_t=2)
+        large_t = required_sampling_rate(small_population, top_t=25)
+        if small_t.feasible and large_t.feasible:
+            assert large_t.required_rate >= small_t.required_rate
+
+    def test_min_rate_floor_is_respected(self, paper_population):
+        plan = required_sampling_rate(paper_population, top_t=1, min_rate=0.001)
+        assert plan.feasible
+        assert plan.required_rate >= 0.001
+
+    def test_extreme_target_requires_near_full_capture(self, small_population):
+        plan = required_sampling_rate(small_population, top_t=25, target_swapped_pairs=1e-12)
+        assert plan.feasible
+        assert plan.required_rate > 0.99
+
+    def test_infeasible_target_reported_for_discrete_population(self, discrete_population):
+        """With a discrete size distribution exact ties are unavoidable, so a
+        near-zero swapped-pair target cannot be met at any sampling rate."""
+        plan = required_sampling_rate(
+            discrete_population, top_t=25, target_swapped_pairs=1e-12
+        )
+        assert not plan.feasible
+        assert plan.required_rate is None
+
+    def test_rejects_bad_arguments(self, small_population):
+        with pytest.raises(ValueError):
+            required_sampling_rate(small_population, top_t=5, target_swapped_pairs=0.0)
+        with pytest.raises(ValueError):
+            required_sampling_rate(small_population, top_t=5, min_rate=0.0)
+        with pytest.raises(ValueError):
+            required_sampling_rate(small_population, top_t=5, problem="bogus")
+
+
+class TestRankingVsDetectionGain:
+    def test_gain_at_least_one(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        population = FlowPopulation.from_distribution(dist, total_flows=100_000, grid_points=200)
+        gain = ranking_vs_detection_gain(population, top_t=10)
+        assert gain >= 1.0
+
+    def test_gain_significant_for_paper_parameters(self, paper_population):
+        """The paper claims roughly an order of magnitude; accept > 3x here."""
+        gain = ranking_vs_detection_gain(paper_population, top_t=10)
+        assert gain > 3.0

@@ -1,0 +1,48 @@
+"""Tests for the square-root condition checker (Section 4 of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributions import (
+    ExponentialFlowSizes,
+    LognormalFlowSizes,
+    ParetoFlowSizes,
+    check_sqrt_condition,
+)
+
+
+class TestSqrtCondition:
+    def test_pareto_satisfies_condition(self):
+        """The paper: dx/dy ∝ x^(beta+1) grows faster than sqrt(x)."""
+        report = check_sqrt_condition(ParetoFlowSizes.from_mean(mean=9.6, shape=1.5))
+        assert report.satisfied_at_tail
+        assert report.fraction_increasing > 0.95
+
+    def test_exponential_satisfies_condition(self):
+        """The paper: dx/dy ∝ exp(lambda x) grows faster than sqrt(x)."""
+        report = check_sqrt_condition(ExponentialFlowSizes(mean=10.0))
+        assert report.satisfied_at_tail
+
+    def test_lognormal_satisfies_condition_at_tail(self):
+        report = check_sqrt_condition(LognormalFlowSizes.from_mean_sigma(mean=10.0, sigma=1.0))
+        assert report.satisfied_at_tail
+
+    def test_growth_ratio_positive(self):
+        report = check_sqrt_condition(ParetoFlowSizes.from_mean(mean=9.6, shape=2.0))
+        assert (report.growth_ratio > 0).all()
+
+    def test_sizes_cover_requested_tail(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        report = check_sqrt_condition(dist, tail_quantile=0.99)
+        assert report.sizes[0] >= dist.quantile(0.99) * 0.999
+
+    def test_rejects_bad_quantile_ordering(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        with pytest.raises(ValueError):
+            check_sqrt_condition(dist, tail_quantile=0.999, upper_quantile=0.9)
+
+    def test_rejects_too_few_points(self):
+        dist = ParetoFlowSizes.from_mean(mean=9.6, shape=1.5)
+        with pytest.raises(ValueError):
+            check_sqrt_condition(dist, num_points=2)
