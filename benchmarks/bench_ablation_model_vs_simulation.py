@@ -15,7 +15,7 @@ from repro.core.flow_size_model import FlowPopulation
 from repro.core.ranking import RankingModel
 from repro.distributions import EmpiricalFlowSizes
 from repro.flows.keys import FiveTupleKeyPolicy
-from repro.simulation import SimulationConfig, run_trace_simulation
+from repro.pipeline import Pipeline
 from repro.simulation.binning import build_bin_layouts
 from repro.traces import SyntheticTraceGenerator, expand_to_packets, sprint_like_config
 
@@ -40,15 +40,17 @@ def test_ablation_model_vs_simulation(run_once):
         model = RankingModel(population, top_t=TOP_T)
         predicted = {rate: model.swapped_pairs(rate) for rate in RATES}
 
-        simulated_result = run_trace_simulation(
-            trace,
-            SimulationConfig(
-                bin_duration=300.0,
-                top_t=TOP_T,
-                sampling_rates=RATES,
-                num_runs=8,
-                seed=123,
-            ),
+        simulated_result = (
+            Pipeline()
+            .with_trace(trace)
+            .with_sampling_rates(RATES)
+            .with_bin_duration(300.0)
+            .with_top(TOP_T)
+            .with_runs(8)
+            .with_seed(123)
+            .streaming()
+            .run()
+            .to_simulation_result()
         )
         simulated = {
             rate: float(simulated_result.series("ranking", rate).mean[0]) for rate in RATES

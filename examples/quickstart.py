@@ -6,13 +6,15 @@ paper introduces them:
 1. the misranking probability of two flows (exact and Gaussian),
 2. the minimum sampling rate to rank a pair reliably,
 3. the top-t ranking and detection models for a backbone-like link,
-4. the required sampling rate for an accuracy target.
+4. the required sampling rate for an accuracy target,
+5. a trace-driven check of the model with the streaming `Pipeline` API.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
+from repro import Pipeline
 from repro.core import (
     DetectionModel,
     FlowPopulation,
@@ -23,6 +25,7 @@ from repro.core import (
     required_sampling_rate,
 )
 from repro.distributions import ParetoFlowSizes
+from repro.experiments.report import render_pipeline_result
 
 
 def pairwise_model() -> None:
@@ -80,10 +83,29 @@ def plan_sampling_rate() -> None:
     print("The paper's headline: ranking needs 10%+ sampling; detection is ~10x cheaper.")
 
 
-def main() -> None:
+def trace_driven_check(scale: float = 0.002, duration: float = 300.0) -> None:
+    print("== Checking the model against a trace-driven pipeline (Section 8) ==")
+    result = (
+        Pipeline()
+        .with_trace("sprint", scale=scale, duration=duration)
+        .with_sampling_rates((0.01, 0.1, 0.5))
+        .with_key_policy("five-tuple")
+        .with_bin_duration(60.0)
+        .with_top(10)
+        .with_runs(3)
+        .with_seed(42)
+        .streaming()
+        .run()
+    )
+    print(render_pipeline_result(result))
+    print()
+
+
+def main(scale: float = 0.002, duration: float = 300.0) -> None:
     pairwise_model()
     topt_models()
     plan_sampling_rate()
+    trace_driven_check(scale=scale, duration=duration)
 
 
 if __name__ == "__main__":

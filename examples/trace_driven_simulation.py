@@ -1,14 +1,16 @@
 """Trace-driven sampling simulation (the pipeline of Section 8 of the paper).
 
-The script:
+The script drives the whole Section-8 methodology through the
+`repro.pipeline.Pipeline` API:
 
 1. synthesises a Sprint-like flow-level trace (flow arrivals, Pareto
    sizes, exponential durations) at a laptop-friendly scale;
-2. expands it to a packet-level trace (uniform packet placement, 500-byte
-   packets), exactly as the paper does with its flow-level trace;
-3. samples the packet stream at several rates, classifies sampled packets
-   into 5-tuple and /24-prefix flows per 1-minute bin, and counts the
-   swapped flow pairs for the ranking and detection problems;
+2. streams its packet-level expansion chunk by chunk (uniform packet
+   placement, 500-byte packets), so peak memory never scales with the
+   total packet count;
+3. samples the packet stream at several rates, classifies sampled
+   packets into 5-tuple and /24-prefix flows per 1-minute bin, and
+   counts the swapped flow pairs for the ranking and detection problems;
 4. prints the per-rate summary and compares it with the analytical model
    evaluated on the empirical flow size distribution of the trace.
 
@@ -19,11 +21,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import Pipeline
 from repro.core import FlowPopulation, RankingModel
 from repro.distributions import EmpiricalFlowSizes
-from repro.experiments.report import render_simulation_result
+from repro.experiments.report import render_pipeline_result
 from repro.flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
-from repro.simulation import SimulationConfig, run_trace_simulation
 from repro.traces import (
     SyntheticTraceGenerator,
     aggregate_sizes,
@@ -40,8 +42,13 @@ RUNS = 8
 SEED = 2026
 
 
-def main() -> None:
-    config = sprint_like_config(scale=SCALE, duration=DURATION)
+def main(
+    scale: float = SCALE,
+    duration: float = DURATION,
+    runs: int = RUNS,
+    rates: tuple[float, ...] = RATES,
+) -> None:
+    config = sprint_like_config(scale=scale, duration=duration)
     trace = SyntheticTraceGenerator(config).generate(rng=SEED)
 
     print("== Synthetic Sprint-like trace ==")
@@ -55,29 +62,32 @@ def main() -> None:
         )
     print()
 
-    print("== Trace-driven sampling simulation (top 10, 1-minute bins) ==")
-    for policy in (FiveTupleKeyPolicy(), DestinationPrefixKeyPolicy(24)):
-        sim_config = SimulationConfig(
-            bin_duration=BIN_DURATION,
-            top_t=TOP_T,
-            sampling_rates=RATES,
-            num_runs=RUNS,
-            key_policy=policy,
-            seed=SEED,
+    print("== Trace-driven sampling pipeline (top 10, 1-minute bins, streamed) ==")
+    for key in ("five-tuple", "prefix"):
+        result = (
+            Pipeline()
+            .with_trace(trace)
+            .with_sampling_rates(rates)
+            .with_key_policy(key)
+            .with_bin_duration(BIN_DURATION)
+            .with_top(TOP_T)
+            .with_runs(runs)
+            .with_seed(SEED)
+            .streaming()
+            .run()
         )
-        result = run_trace_simulation(trace, sim_config)
-        print(render_simulation_result(result))
+        print(render_pipeline_result(result))
         print()
 
     print("== Analytical model on the trace's own flow size distribution ==")
     sizes = aggregate_sizes(trace, FiveTupleKeyPolicy())
-    flows_per_bin = max(2, int(round(sizes.size * BIN_DURATION / DURATION)))
+    flows_per_bin = max(2, int(round(sizes.size * BIN_DURATION / duration)))
     population = FlowPopulation.from_grid(
         EmpiricalFlowSizes(np.asarray(sizes)).discretize(), total_flows=flows_per_bin
     )
     model = RankingModel(population, top_t=TOP_T)
     print("  rate    predicted swapped pairs (ranking, one bin)")
-    for rate in RATES:
+    for rate in rates:
         print(f"  {rate:5.1%}  {model.swapped_pairs(rate):12.2f}")
     print()
     print(

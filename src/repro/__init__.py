@@ -23,6 +23,25 @@ Subpackages
     Aggregate inversion estimators from prior work.
 ``repro.experiments``
     Drivers that regenerate each figure of the paper.
+``repro.pipeline``
+    The composable, streaming experiment pipeline — the one public way
+    to run any experiment.
+``repro.registry``
+    String-keyed registries of samplers, key policies, distributions and
+    trace generators.
+
+Quickstart
+----------
+>>> from repro import Pipeline
+>>> result = (
+...     Pipeline()
+...     .with_trace("sprint", scale=0.002, duration=300.0)
+...     .with_sampler("bernoulli", rate=0.5)
+...     .with_seed(0)
+...     .run()
+... )
+>>> result.series("ranking", 0.5).num_runs
+5
 """
 
 from .core import (
@@ -35,8 +54,10 @@ from .core import (
     required_sampling_rate,
 )
 from .distributions import ParetoFlowSizes
+from .pipeline import Pipeline, PipelineResult
+from .registry import DISTRIBUTIONS, KEY_POLICIES, SAMPLERS, TRACES, parse_spec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -48,4 +69,11 @@ __all__ = [
     "DetectionModel",
     "required_sampling_rate",
     "ParetoFlowSizes",
+    "Pipeline",
+    "PipelineResult",
+    "SAMPLERS",
+    "KEY_POLICIES",
+    "DISTRIBUTIONS",
+    "TRACES",
+    "parse_spec",
 ]

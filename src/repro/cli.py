@@ -1,30 +1,48 @@
 """Command-line interface.
 
-Three subcommands cover the workflows the library supports:
+Four subcommands cover the workflows the library supports:
 
+* ``run`` — run an arbitrary pipeline built from registry specs
+  (``repro run --sampler bernoulli:rate=0.01 --trace sprint --bin 60
+  --top 10``); the workhorse for custom scenarios;
 * ``figure`` — regenerate the data behind one figure of the paper and
   print it as a text table (``repro figure fig04``);
 * ``plan`` — compute the sampling rate required to rank or detect the
   top-t flows of a link (``repro plan --flows 700000 --top 10``);
-* ``simulate`` — run a trace-driven sampling simulation on a synthetic
-  Sprint-like or Abilene-like trace (``repro simulate --scale 0.01``).
+* ``simulate`` — run the paper's trace-driven Bernoulli sweep on a
+  synthetic Sprint-like or Abilene-like trace
+  (``repro simulate --scale 0.01``).
 
-Run ``python -m repro --help`` for the full option list.
+Component specs use the ``name:key=value,key=value`` syntax of
+:func:`repro.registry.parse_spec`; ``repro run --list-components``
+prints every registered name.  Run ``python -m repro --help`` for the
+full option list.
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from collections.abc import Sequence
 
 from .core.flow_size_model import FlowPopulation
 from .core.rate_planning import required_sampling_rate
 from .distributions.pareto import ParetoFlowSizes
 from .experiments.figures import ANALYTICAL_FIGURES, TRACE_FIGURES
-from .experiments.report import render_figure_result, render_simulation_result
-from .flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
-from .simulation.runner import SimulationConfig, run_trace_simulation
-from .traces.synthetic import SyntheticTraceGenerator, abilene_like_config, sprint_like_config
+from .experiments.report import (
+    render_figure_result,
+    render_pipeline_result,
+    render_simulation_result,
+)
+from .pipeline import DEFAULT_CHUNK_PACKETS, Pipeline
+from .registry import (
+    DISTRIBUTIONS,
+    KEY_POLICIES,
+    SAMPLERS,
+    TRACES,
+    UnknownComponentError,
+    parse_spec,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -33,6 +51,50 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Ranking flows from sampled traffic — reproduction toolkit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="run a pipeline built from registry component specs"
+    )
+    run.add_argument(
+        "--trace",
+        default="sprint",
+        help="trace spec, e.g. sprint or abilene:sigma=1.2 (see --list-components)",
+    )
+    run.add_argument(
+        "--sampler",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="sampler spec, e.g. bernoulli:rate=0.01 (repeatable; default bernoulli:rate=0.01)",
+    )
+    run.add_argument(
+        "--key",
+        default="five-tuple",
+        help="flow-key policy spec, e.g. five-tuple or prefix:prefix_length=24",
+    )
+    run.add_argument("--scale", type=float, default=0.01, help="fraction of backbone flow rate")
+    run.add_argument("--duration", type=float, default=600.0, help="trace duration in seconds")
+    run.add_argument("--bin", type=float, default=60.0, help="measurement interval in seconds")
+    run.add_argument("--top", type=int, default=10, help="number of top flows")
+    run.add_argument("--runs", type=int, default=5, help="sampling runs per sampler")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--chunk-packets",
+        type=int,
+        default=None,
+        help=f"streaming chunk size in packets (default {DEFAULT_CHUNK_PACKETS})",
+    )
+    run.add_argument(
+        "--materialised",
+        action="store_true",
+        help="expand the whole packet trace in memory instead of streaming",
+    )
+    run.add_argument("--csv", metavar="PATH", help="also write a per-bin CSV to PATH")
+    run.add_argument(
+        "--list-components",
+        action="store_true",
+        help="print the registered component names and exit",
+    )
 
     figure = subparsers.add_parser("figure", help="regenerate one figure of the paper")
     figure.add_argument(
@@ -69,6 +131,53 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _list_components() -> str:
+    lines = ["registered components (name:key=value,... specs):"]
+    for title, registry in (
+        ("samplers", SAMPLERS),
+        ("flow-key policies", KEY_POLICIES),
+        ("distributions", DISTRIBUTIONS),
+        ("traces", TRACES),
+    ):
+        lines.append(f"  {title}: {', '.join(registry.names())}")
+    return "\n".join(lines)
+
+
+def _run_pipeline(args: argparse.Namespace) -> str:
+    if args.list_components:
+        return _list_components()
+    # --scale/--duration are defaults; an explicit value inside the
+    # --trace spec (e.g. sprint:scale=0.05) wins.
+    trace_name, trace_kwargs = parse_spec(args.trace)
+    trace_kwargs.setdefault("scale", args.scale)
+    trace_kwargs.setdefault("duration", args.duration)
+    pipeline = (
+        Pipeline()
+        .with_trace(trace_name, **trace_kwargs)
+        .with_key_policy(args.key)
+        .with_bin_duration(args.bin)
+        .with_top(args.top)
+        .with_runs(args.runs)
+        .with_seed(args.seed)
+    )
+    for spec in args.sampler if args.sampler else ["bernoulli:rate=0.01"]:
+        pipeline.with_sampler(spec)
+    if args.materialised:
+        if args.chunk_packets is not None:
+            raise ValueError("--chunk-packets conflicts with --materialised")
+        pipeline.materialised()
+    else:
+        pipeline.streaming(
+            DEFAULT_CHUNK_PACKETS if args.chunk_packets is None else args.chunk_packets
+        )
+    result = pipeline.run()
+    text = render_pipeline_result(result)
+    if args.csv:
+        result.to_csv(args.csv)
+        text += f"\nwrote per-bin CSV to {args.csv}"
+    return text
+
+
 def _run_figure(name: str) -> str:
     if name in ANALYTICAL_FIGURES:
         return render_figure_result(ANALYTICAL_FIGURES[name]())
@@ -94,27 +203,30 @@ def _run_plan(args: argparse.Namespace) -> str:
 
 
 def _run_simulate(args: argparse.Namespace) -> str:
-    if args.trace == "sprint":
-        trace_config = sprint_like_config(scale=args.scale, duration=args.duration)
-    else:
-        trace_config = abilene_like_config(scale=args.scale, duration=args.duration)
-    trace = SyntheticTraceGenerator(trace_config).generate(rng=args.seed)
-    key_policy = DestinationPrefixKeyPolicy(24) if args.prefix else FiveTupleKeyPolicy()
-    config = SimulationConfig(
-        bin_duration=args.bin,
-        top_t=args.top,
-        sampling_rates=tuple(args.rates),
-        num_runs=args.runs,
-        key_policy=key_policy,
-        seed=args.seed,
+    pipeline = (
+        Pipeline()
+        .with_trace(args.trace, scale=args.scale, duration=args.duration)
+        .with_sampling_rates(tuple(args.rates))
+        .with_key_policy("prefix" if args.prefix else "five-tuple")
+        .with_bin_duration(args.bin)
+        .with_top(args.top)
+        .with_runs(args.runs)
+        .with_seed(args.seed)
+        .streaming()
     )
-    return render_simulation_result(run_trace_simulation(trace, config))
+    return render_simulation_result(pipeline.run().to_simulation_result())
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro`` console script."""
     args = _build_parser().parse_args(argv)
-    if args.command == "figure":
+    if args.command == "run":
+        try:
+            output = _run_pipeline(args)
+        except (UnknownComponentError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.command == "figure":
         output = _run_figure(args.name)
     elif args.command == "plan":
         output = _run_plan(args)

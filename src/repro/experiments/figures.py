@@ -25,10 +25,8 @@ from ..core.flow_size_model import FlowPopulation
 from ..core.gaussian import gaussian_error_surface
 from ..core.optimal_rate import optimal_rate_surface
 from ..core.ranking import RankingModel
-from ..flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
+from ..pipeline import Pipeline
 from ..simulation.results import SimulationResult
-from ..simulation.runner import SimulationConfig, run_trace_simulation
-from ..traces.synthetic import SyntheticTraceGenerator, abilene_like_config, sprint_like_config
 from .config import (
     BETA_SWEEP,
     DEFAULT_PARETO_SHAPE,
@@ -341,21 +339,18 @@ def _trace_simulation(
     rates: tuple[float, ...] = (0.001, 0.01, 0.1, 0.5),
     top_t: int = 10,
 ) -> SimulationResult:
-    if abilene:
-        trace_config = abilene_like_config(scale=scale, duration=trace_duration)
-    else:
-        trace_config = sprint_like_config(scale=scale, duration=trace_duration)
-    trace = SyntheticTraceGenerator(trace_config).generate(rng=seed)
-    key_policy = DestinationPrefixKeyPolicy(24) if prefix_flows else FiveTupleKeyPolicy()
-    config = SimulationConfig(
-        bin_duration=bin_duration,
-        top_t=top_t,
-        sampling_rates=rates,
-        num_runs=num_runs,
-        key_policy=key_policy,
-        seed=seed,
+    pipeline = (
+        Pipeline()
+        .with_trace("abilene" if abilene else "sprint", scale=scale, duration=trace_duration)
+        .with_sampling_rates(rates)
+        .with_key_policy("prefix" if prefix_flows else "five-tuple")
+        .with_bin_duration(bin_duration)
+        .with_top(top_t)
+        .with_runs(num_runs)
+        .with_seed(seed)
+        .streaming()
     )
-    return run_trace_simulation(trace, config)
+    return pipeline.run().to_simulation_result()
 
 
 def figure_12_trace_ranking_five_tuple(

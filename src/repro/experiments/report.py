@@ -12,6 +12,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from ..pipeline.result import PipelineResult
 from ..simulation.results import SimulationResult
 from .figures import FigureResult
 
@@ -63,6 +64,40 @@ def render_simulation_result(result: SimulationResult) -> str:
     return "\n".join(lines)
 
 
+def render_pipeline_result(result: PipelineResult) -> str:
+    """Render a pipeline result as an aligned text table (one row per sampler)."""
+    mode = "streamed" if result.streamed else "materialised"
+    lines = [
+        (
+            f"pipeline run ({mode}): {result.flow_definition}, "
+            f"bin = {result.bin_duration:.0f}s, top {result.top_t} flows, "
+            f"{result.num_runs} runs, {result.flows_per_bin:.0f} flows/bin, "
+            f"{result.total_packets:,} packets"
+        )
+    ]
+    header = ["problem", "sampler", "rate", "mean swapped pairs", "mean+std < 1 (bins %)"]
+    widths = [10, 24, 8, 20, 22]
+    lines.append(_format_row(header, widths))
+    for problem, store in (("ranking", result.ranking), ("detection", result.detection)):
+        for summary in result.samplers:
+            series = store.get(summary.label)
+            if series is None:
+                continue
+            lines.append(
+                _format_row(
+                    [
+                        problem,
+                        summary.label,
+                        f"{summary.effective_rate * 100:.3g}%",
+                        f"{series.overall_mean:.3g}",
+                        f"{series.fraction_of_bins_acceptable() * 100:.0f}%",
+                    ],
+                    widths,
+                )
+            )
+    return "\n".join(lines)
+
+
 def acceptable_rate_threshold(result: FigureResult, series_label: str) -> float | None:
     """Smallest sampled rate (in %) at which a series drops below one swapped pair.
 
@@ -79,4 +114,9 @@ def acceptable_rate_threshold(result: FigureResult, series_label: str) -> float 
     return float(result.x_values[below[0]])
 
 
-__all__ = ["render_figure_result", "render_simulation_result", "acceptable_rate_threshold"]
+__all__ = [
+    "render_figure_result",
+    "render_simulation_result",
+    "render_pipeline_result",
+    "acceptable_rate_threshold",
+]

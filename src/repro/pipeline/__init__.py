@@ -1,0 +1,21 @@
+"""Composable experiment pipeline: trace -> sampler -> classifier -> evaluator.
+
+This package is the one public way to run any experiment of the
+reproduction.  See :class:`Pipeline` for the facade,
+:mod:`repro.registry` for the string-keyed component registries, and
+:mod:`repro.pipeline.executor` for the streaming execution engine.
+"""
+
+from .executor import DEFAULT_CHUNK_PACKETS, iter_expanded_chunks, run_stream
+from .pipeline import Pipeline, SamplerSpec
+from .result import PipelineResult, SamplerSummary
+
+__all__ = [
+    "Pipeline",
+    "SamplerSpec",
+    "PipelineResult",
+    "SamplerSummary",
+    "DEFAULT_CHUNK_PACKETS",
+    "iter_expanded_chunks",
+    "run_stream",
+]

@@ -1,0 +1,371 @@
+"""The :class:`Pipeline` facade — one public way to run any experiment.
+
+A pipeline composes the four stages every workload in this repository
+needs::
+
+    TraceSource -> PacketSampler(s) -> FlowClassifier -> Evaluator
+
+and is built either fluently::
+
+    result = (
+        Pipeline()
+        .with_trace("sprint", scale=0.01, duration=600.0)
+        .with_sampler("bernoulli", rate=0.01)
+        .with_key_policy("prefix", prefix_length=24)
+        .with_bin_duration(60.0)
+        .with_top(10)
+        .with_runs(5)
+        .with_seed(42)
+        .run()
+    )
+
+or from string specs (config files, CLI flags)::
+
+    result = Pipeline.from_spec(
+        trace="sprint:scale=0.01,duration=600",
+        sampler="bernoulli:rate=0.01",
+        key="five-tuple",
+        seed=42,
+    ).run()
+
+Execution streams the packet expansion chunk by chunk (see
+:mod:`repro.pipeline.executor`), so arbitrarily long traces run in
+bounded memory; ``.materialised()`` opts back into single-chunk
+execution, which is guaranteed to produce *identical* results for the
+same seed.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..flows.keys import FlowKeyPolicy
+from ..registry import KEY_POLICIES, SAMPLERS, TRACES, accepts_rng, parse_spec
+from ..sampling.base import PacketSampler
+from ..traces.flow_trace import FlowLevelTrace
+from ..traces.synthetic import SyntheticTraceGenerator
+from .executor import (
+    DEFAULT_CHUNK_PACKETS,
+    iter_expanded_chunks,
+    metric_series_for_stream,
+    run_stream,
+)
+from .result import PipelineResult, SamplerSummary
+
+
+@dataclass
+class SamplerSpec:
+    """How to build one sampler, once per independent run.
+
+    Exactly one of ``name`` (registry lookup), ``factory`` (callable
+    returning a :class:`PacketSampler`) or ``instance`` (a prototype
+    cloned with :meth:`PacketSampler.spawn`) is set.
+    """
+
+    name: str | None = None
+    kwargs: dict = field(default_factory=dict)
+    factory: Callable[..., PacketSampler] | None = None
+    instance: PacketSampler | None = None
+    label: str | None = None
+
+    def build(self, rng: np.random.Generator) -> PacketSampler:
+        """A fresh sampler for one independent run."""
+        if self.instance is not None:
+            return self.instance.spawn(rng)
+        if self.factory is not None:
+            if accepts_rng(self.factory):
+                return self.factory(**self.kwargs, rng=rng)
+            return self.factory(**self.kwargs)
+        if SAMPLERS.accepts_rng(self.name):
+            return SAMPLERS.create(self.name, **self.kwargs, rng=rng)
+        return SAMPLERS.create(self.name, **self.kwargs)
+
+
+class Pipeline:
+    """Composable, streaming experiment pipeline (builder style).
+
+    All ``with_*`` methods mutate the pipeline and return it, so calls
+    chain fluently.  :meth:`run` may be called repeatedly; every call
+    re-executes the experiment from the configured seed.
+    """
+
+    def __init__(self) -> None:
+        self._trace: FlowLevelTrace | None = None
+        self._trace_name: str | None = None
+        self._trace_kwargs: dict = {}
+        self._generator: SyntheticTraceGenerator | None = None
+        self._samplers: list[SamplerSpec] = []
+        self._key_policy: FlowKeyPolicy | None = None
+        self._key_name: str = "five-tuple"
+        self._key_kwargs: dict = {}
+        self._bin_duration: float = 60.0
+        self._top_t: int = 10
+        self._num_runs: int = 5
+        self._seed: int | None = None
+        self._chunk_packets: int | None = DEFAULT_CHUNK_PACKETS
+        self._evaluate_ranking: bool = True
+        self._evaluate_detection: bool = True
+        self._packet_rng: np.random.Generator | int | None = None
+
+    # ------------------------------------------------------------------
+    # Builder methods
+    # ------------------------------------------------------------------
+    def with_trace(
+        self,
+        trace: FlowLevelTrace | SyntheticTraceGenerator | str,
+        **kwargs,
+    ) -> "Pipeline":
+        """Set the trace source: a trace object, a generator, or a registry name."""
+        self._trace = self._generator = self._trace_name = None
+        self._trace_kwargs = {}
+        if isinstance(trace, FlowLevelTrace):
+            if kwargs:
+                raise ValueError("keyword arguments are only valid with a trace name")
+            self._trace = trace
+        elif isinstance(trace, str):
+            name, spec_kwargs = parse_spec(trace)
+            self._trace_name = name
+            self._trace_kwargs = {**spec_kwargs, **kwargs}
+        else:
+            if kwargs:
+                raise ValueError("keyword arguments are only valid with a trace name")
+            self._generator = trace
+        return self
+
+    def with_sampler(
+        self,
+        sampler: PacketSampler | Callable[..., PacketSampler] | str,
+        *,
+        label: str | None = None,
+        **kwargs,
+    ) -> "Pipeline":
+        """Add one sampler to evaluate: registry name (with kwargs), factory, or instance."""
+        if isinstance(sampler, str):
+            name, spec_kwargs = parse_spec(sampler)
+            self._samplers.append(
+                SamplerSpec(name=name, kwargs={**spec_kwargs, **kwargs}, label=label)
+            )
+        elif isinstance(sampler, PacketSampler):
+            if kwargs:
+                raise ValueError("keyword arguments are only valid with a sampler name")
+            self._samplers.append(SamplerSpec(instance=sampler, label=label))
+        elif callable(sampler):
+            self._samplers.append(SamplerSpec(factory=sampler, kwargs=kwargs, label=label))
+        else:
+            raise TypeError(f"cannot interpret {sampler!r} as a sampler")
+        return self
+
+    def with_sampling_rates(self, rates: tuple[float, ...] | list[float]) -> "Pipeline":
+        """Convenience: one Bernoulli sampler per rate (the paper's sweep)."""
+        for rate in rates:
+            self.with_sampler("bernoulli", rate=float(rate))
+        return self
+
+    def with_key_policy(self, policy: FlowKeyPolicy | str, **kwargs) -> "Pipeline":
+        """Set the flow definition: a policy object or a registry name."""
+        if isinstance(policy, str):
+            name, spec_kwargs = parse_spec(policy)
+            self._key_policy = None
+            self._key_name = name
+            self._key_kwargs = {**spec_kwargs, **kwargs}
+        else:
+            if kwargs:
+                raise ValueError("keyword arguments are only valid with a policy name")
+            self._key_policy = policy
+        return self
+
+    def with_bin_duration(self, seconds: float) -> "Pipeline":
+        """Set the measurement interval length."""
+        self._bin_duration = float(seconds)
+        return self
+
+    def with_top(self, top_t: int) -> "Pipeline":
+        """Set the number of top flows to rank/detect."""
+        self._top_t = int(top_t)
+        return self
+
+    def with_runs(self, num_runs: int) -> "Pipeline":
+        """Set the number of independent sampling realisations per sampler."""
+        self._num_runs = int(num_runs)
+        return self
+
+    def with_seed(self, seed: int | None) -> "Pipeline":
+        """Seed the whole pipeline (trace synthesis, expansion, sampling)."""
+        self._seed = seed
+        return self
+
+    def with_problems(self, *, ranking: bool = True, detection: bool = True) -> "Pipeline":
+        """Choose which problems to report (both by default)."""
+        if not (ranking or detection):
+            raise ValueError("at least one of ranking/detection must be evaluated")
+        self._evaluate_ranking = bool(ranking)
+        self._evaluate_detection = bool(detection)
+        return self
+
+    def streaming(self, chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> "Pipeline":
+        """Stream the expansion in chunks of roughly ``chunk_packets`` packets."""
+        if chunk_packets < 1:
+            raise ValueError("chunk_packets must be positive")
+        self._chunk_packets = int(chunk_packets)
+        return self
+
+    def materialised(self) -> "Pipeline":
+        """Expand the whole packet trace at once (legacy behaviour)."""
+        self._chunk_packets = None
+        return self
+
+    def with_packet_rng(self, rng: np.random.Generator | int | None) -> "Pipeline":
+        """Advanced: override the generator used for packet placement.
+
+        By default the expansion generator is derived from the pipeline
+        seed; the legacy ``run_trace_simulation`` shim uses this hook to
+        honour its ``packet_rng`` parameter.  A passed ``Generator`` is
+        copied at every :meth:`run`, so repeated runs stay reproducible
+        and the caller's generator is never consumed.
+        """
+        self._packet_rng = rng
+        return self
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        trace: str | FlowLevelTrace | SyntheticTraceGenerator = "sprint",
+        sampler: str | tuple[str, ...] | list[str] = "bernoulli:rate=0.01",
+        key: str | FlowKeyPolicy = "five-tuple",
+        bin_duration: float = 60.0,
+        top_t: int = 10,
+        num_runs: int = 5,
+        seed: int | None = None,
+        streaming: bool = True,
+        chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+    ) -> "Pipeline":
+        """Build a pipeline entirely from string specs.
+
+        ``trace``/``sampler``/``key`` accept ``name:key=value,...``
+        strings resolved through :mod:`repro.registry`; ``sampler`` may
+        be a list of specs to evaluate several samplers in one pass.
+        """
+        pipeline = (
+            cls()
+            .with_trace(trace)
+            .with_key_policy(key)
+            .with_bin_duration(bin_duration)
+            .with_top(top_t)
+            .with_runs(num_runs)
+            .with_seed(seed)
+        )
+        specs = [sampler] if isinstance(sampler, str) else list(sampler)
+        for spec in specs:
+            pipeline.with_sampler(spec)
+        if streaming:
+            pipeline.streaming(chunk_packets)
+        else:
+            pipeline.materialised()
+        return pipeline
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self._trace is None and self._generator is None and self._trace_name is None:
+            raise ValueError("no trace source configured; call with_trace(...)")
+        if not self._samplers:
+            raise ValueError("no sampler configured; call with_sampler(...)")
+        if self._bin_duration <= 0:
+            raise ValueError("bin_duration must be positive")
+        if self._top_t < 1:
+            raise ValueError("top_t must be at least 1")
+        if self._num_runs < 1:
+            raise ValueError("num_runs must be at least 1")
+
+    def _resolve_trace(self, rng: np.random.Generator) -> FlowLevelTrace:
+        if self._trace is not None:
+            return self._trace
+        generator = self._generator
+        if generator is None:
+            generator = TRACES.create(self._trace_name, **self._trace_kwargs)
+        return generator.generate(rng=rng)
+
+    def _resolve_key_policy(self) -> FlowKeyPolicy:
+        if self._key_policy is not None:
+            return self._key_policy
+        return KEY_POLICIES.create(self._key_name, **self._key_kwargs)
+
+    def run(self) -> PipelineResult:
+        """Execute the pipeline and return a :class:`PipelineResult`."""
+        self._validate()
+        seed_sequence = np.random.SeedSequence(self._seed)
+        num_specs = len(self._samplers)
+        children = seed_sequence.spawn(2 + num_specs * self._num_runs)
+        trace_rng = np.random.default_rng(children[0])
+        if self._packet_rng is not None:
+            expand_rng = (
+                copy.deepcopy(self._packet_rng)
+                if isinstance(self._packet_rng, np.random.Generator)
+                else np.random.default_rng(self._packet_rng)
+            )
+        else:
+            expand_rng = np.random.default_rng(children[1])
+
+        trace = self._resolve_trace(trace_rng)
+        key_policy = self._resolve_key_policy()
+        groups = trace.group_ids(key_policy)
+
+        stream_samplers: list[PacketSampler] = []
+        for spec_index, spec in enumerate(self._samplers):
+            for run in range(self._num_runs):
+                child = children[2 + spec_index * self._num_runs + run]
+                stream_samplers.append(spec.build(np.random.default_rng(child)))
+
+        chunks = iter_expanded_chunks(
+            trace,
+            expand_rng,
+            chunk_packets=self._chunk_packets,
+            clip_to_duration=trace.duration if trace.duration > 0 else None,
+        )
+        outcome = run_stream(
+            chunks, groups, stream_samplers, self._bin_duration, self._top_t
+        )
+
+        result = PipelineResult(
+            flow_definition=key_policy.name,
+            bin_duration=self._bin_duration,
+            top_t=self._top_t,
+            num_runs=self._num_runs,
+            flows_per_bin=outcome.flows_per_bin,
+            total_packets=outcome.total_packets,
+            streamed=self._chunk_packets is not None,
+        )
+        used_labels: set[str] = set()
+        for spec_index, spec in enumerate(self._samplers):
+            first = stream_samplers[spec_index * self._num_runs]
+            label = spec.label or first.name
+            if label in used_labels:
+                suffix = 2
+                while f"{label} #{suffix}" in used_labels:
+                    suffix += 1
+                label = f"{label} #{suffix}"
+            used_labels.add(label)
+            stream_slice = slice(
+                spec_index * self._num_runs, (spec_index + 1) * self._num_runs
+            )
+            result.samplers.append(
+                SamplerSummary(label=label, effective_rate=first.effective_rate)
+            )
+            if self._evaluate_ranking:
+                result.ranking[label] = metric_series_for_stream(
+                    outcome, "ranking", first.effective_rate, stream_slice
+                )
+            if self._evaluate_detection:
+                result.detection[label] = metric_series_for_stream(
+                    outcome, "detection", first.effective_rate, stream_slice
+                )
+        return result
+
+
+__all__ = ["Pipeline", "SamplerSpec"]

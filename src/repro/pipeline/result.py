@@ -1,0 +1,198 @@
+"""Unified result container for pipeline runs.
+
+:class:`PipelineResult` subsumes the legacy
+:class:`~repro.simulation.results.SimulationResult`: series are keyed by
+*sampler label* (so several samplers with the same effective rate can be
+compared in one run), export helpers (:meth:`~PipelineResult.to_dict`,
+:meth:`~PipelineResult.to_csv`) cover the figure/report workflows, and
+:meth:`~PipelineResult.to_simulation_result` converts back to the legacy
+rate-keyed container for existing call sites.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..simulation.results import MetricSeries, SimulationResult
+
+
+@dataclass
+class SamplerSummary:
+    """What the pipeline knows about one evaluated sampler."""
+
+    label: str
+    effective_rate: float
+
+
+@dataclass
+class PipelineResult:
+    """Full result of one pipeline execution.
+
+    Attributes
+    ----------
+    flow_definition:
+        Name of the flow-key policy used ("5-tuple", "/24 ...").
+    bin_duration:
+        Measurement interval length in seconds.
+    top_t:
+        Number of top flows evaluated.
+    num_runs:
+        Independent sampling realisations per sampler.
+    samplers:
+        One :class:`SamplerSummary` per evaluated sampler, in evaluation
+        order.
+    ranking, detection:
+        Mapping sampler label -> :class:`MetricSeries`.
+    flows_per_bin:
+        Average number of distinct flows per measurement interval before
+        sampling.
+    total_packets:
+        Number of packets processed (after clipping), summed over chunks.
+    streamed:
+        Whether the run used the chunked streaming executor.
+    """
+
+    flow_definition: str
+    bin_duration: float
+    top_t: int
+    num_runs: int
+    samplers: list[SamplerSummary] = field(default_factory=list)
+    ranking: dict[str, MetricSeries] = field(default_factory=dict)
+    detection: dict[str, MetricSeries] = field(default_factory=dict)
+    flows_per_bin: float = 0.0
+    total_packets: int = 0
+    streamed: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def labels(self) -> list[str]:
+        """Sampler labels in evaluation order."""
+        return [summary.label for summary in self.samplers]
+
+    @property
+    def sampling_rates(self) -> list[float]:
+        """Effective sampling rates of the evaluated samplers, increasing."""
+        return sorted({summary.effective_rate for summary in self.samplers})
+
+    def series(self, problem: str, key: str | float) -> MetricSeries:
+        """Fetch one series by sampler label or by effective sampling rate."""
+        if problem not in ("ranking", "detection"):
+            raise KeyError(f"unknown problem {problem!r}; expected 'ranking' or 'detection'")
+        store = self.ranking if problem == "ranking" else self.detection
+        if isinstance(key, str):
+            if key not in store:
+                raise KeyError(
+                    f"no {problem} series for sampler {key!r}; available: {sorted(store)}"
+                )
+            return store[key]
+        for summary in self.samplers:
+            if abs(summary.effective_rate - float(key)) < 1e-12 and summary.label in store:
+                return store[summary.label]
+        raise KeyError(f"no {problem} series at sampling rate {key}")
+
+    # ------------------------------------------------------------------
+    def summary_rows(self) -> list[dict[str, float | str]]:
+        """Flat rows (one per problem and sampler) for reports and CSV export."""
+        rows: list[dict[str, float | str]] = []
+        for problem, store in (("ranking", self.ranking), ("detection", self.detection)):
+            for summary in self.samplers:
+                if summary.label not in store:
+                    continue
+                series = store[summary.label]
+                rows.append(
+                    {
+                        "problem": problem,
+                        "sampler": summary.label,
+                        "flow_definition": self.flow_definition,
+                        "bin_duration_s": self.bin_duration,
+                        "top_t": self.top_t,
+                        "sampling_rate": summary.effective_rate,
+                        "mean_swapped_pairs": series.overall_mean,
+                        "fraction_bins_acceptable": series.fraction_of_bins_acceptable(),
+                    }
+                )
+        return rows
+
+    def to_dict(self) -> dict:
+        """Plain-python export (JSON-friendly) of the full result."""
+        def _series_dict(series: MetricSeries) -> dict:
+            return {
+                "sampling_rate": series.sampling_rate,
+                "bin_start_times": series.bin_start_times.tolist(),
+                "mean": series.mean.tolist(),
+                "std": series.std.tolist(),
+                "values": series.values.tolist(),
+            }
+
+        return {
+            "flow_definition": self.flow_definition,
+            "bin_duration": self.bin_duration,
+            "top_t": self.top_t,
+            "num_runs": self.num_runs,
+            "flows_per_bin": self.flows_per_bin,
+            "total_packets": self.total_packets,
+            "streamed": self.streamed,
+            "samplers": [
+                {"label": s.label, "effective_rate": s.effective_rate} for s in self.samplers
+            ],
+            "ranking": {label: _series_dict(series) for label, series in self.ranking.items()},
+            "detection": {label: _series_dict(series) for label, series in self.detection.items()},
+        }
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """Per-bin CSV export (one row per problem, sampler and bin).
+
+        Returns the CSV text; when ``path`` is given the text is also
+        written to that file.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(
+            ["problem", "sampler", "sampling_rate", "bin_start_s", "mean_swapped_pairs", "std"]
+        )
+        for problem, store in (("ranking", self.ranking), ("detection", self.detection)):
+            for summary in self.samplers:
+                series = store.get(summary.label)
+                if series is None:
+                    continue
+                for start, mean, std in zip(series.bin_start_times, series.mean, series.std):
+                    writer.writerow(
+                        [
+                            problem,
+                            summary.label,
+                            f"{summary.effective_rate:g}",
+                            f"{start:g}",
+                            f"{mean:g}",
+                            f"{std:g}",
+                        ]
+                    )
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_simulation_result(self) -> SimulationResult:
+        """Convert to the legacy rate-keyed :class:`SimulationResult`.
+
+        When several samplers share an effective rate the last one wins,
+        matching the legacy container's one-series-per-rate shape.
+        """
+        result = SimulationResult(
+            flow_definition=self.flow_definition,
+            bin_duration=self.bin_duration,
+            top_t=self.top_t,
+            num_runs=self.num_runs,
+            flows_per_bin=self.flows_per_bin,
+        )
+        for summary in self.samplers:
+            if summary.label in self.ranking:
+                result.ranking[summary.effective_rate] = self.ranking[summary.label]
+            if summary.label in self.detection:
+                result.detection[summary.effective_rate] = self.detection[summary.label]
+        return result
+
+
+__all__ = ["PipelineResult", "SamplerSummary"]

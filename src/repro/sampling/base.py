@@ -17,6 +17,7 @@ Samplers expose two entry points:
 from __future__ import annotations
 
 import abc
+import copy
 
 import numpy as np
 
@@ -48,6 +49,22 @@ class PacketSampler(abc.ABC):
 
     def reset(self) -> None:
         """Clear any per-stream state (default: stateless)."""
+
+    def spawn(self, rng: np.random.Generator | None = None) -> "PacketSampler":
+        """Return an independent copy of this sampler for a fresh run.
+
+        The pipeline executor uses one sampler clone per independent
+        sampling realisation, so that stateful samplers (periodic
+        counters, flow tables) never leak state between runs or rates.
+        The clone starts from a clean :meth:`reset` state; when ``rng``
+        is given, a randomised sampler's generator is replaced so that
+        different runs draw independent decisions.
+        """
+        clone = copy.deepcopy(self)
+        clone.reset()
+        if rng is not None and isinstance(getattr(clone, "_rng", None), np.random.Generator):
+            clone._rng = rng
+        return clone
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(rate={self.effective_rate:.4g})"

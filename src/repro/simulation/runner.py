@@ -1,5 +1,20 @@
 """Trace-driven sampling simulation (Section 8 of the paper).
 
+.. deprecated:: 1.1
+    This module is kept as a thin compatibility layer.  New code should
+    use :class:`repro.pipeline.Pipeline`, which composes the same
+    trace -> sampler -> classifier -> evaluator stages, supports every
+    registered sampler (not just Bernoulli), and can stream arbitrarily
+    long traces in bounded memory.  ``run_trace_simulation`` and
+    ``run_packet_simulation`` now delegate to the pipeline and emit a
+    :class:`DeprecationWarning`.
+
+    Note that the pipeline derives all generators from a single
+    ``SeedSequence`` and expands packets in flow start-time order, so
+    *same-seed numeric results differ from the 1.0.x releases* (the
+    statistical properties are unchanged); re-record any golden values
+    when upgrading.
+
 The simulation pipeline mirrors the paper's methodology:
 
 1. take a flow-level trace (synthetic here; the paper used a Sprint
@@ -17,17 +32,16 @@ The simulation pipeline mirrors the paper's methodology:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..flows.keys import FiveTupleKeyPolicy, FlowKeyPolicy
 from ..flows.packets import PacketBatch
-from ..traces.expansion import expand_to_packets
+from ..sampling.bernoulli import BernoulliSampler
 from ..traces.flow_trace import FlowLevelTrace
-from .binning import BinLayout, build_bin_layouts
-from .evaluation import swapped_pair_counts
-from .results import MetricSeries, SimulationResult
+from .results import SimulationResult
 
 #: Sampling rates used in Figs. 12-15 of the paper.
 PAPER_SAMPLING_RATES = (0.001, 0.01, 0.1, 0.5)
@@ -84,23 +98,12 @@ class SimulationConfig:
             raise ValueError("at least one of ranking/detection must be evaluated")
 
 
-def _evaluate_run(
-    layouts: list[BinLayout],
-    keep_mask: np.ndarray,
-    top_t: int,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Swapped-pair counts (ranking, detection) for every bin of one run."""
-    ranking = np.empty(len(layouts), dtype=float)
-    detection = np.empty(len(layouts), dtype=float)
-    for position, layout in enumerate(layouts):
-        counts = swapped_pair_counts(
-            layout.original_counts,
-            layout.sampled_counts(keep_mask[layout.packet_slice]),
-            top_t,
-        )
-        ranking[position] = counts.ranking
-        detection[position] = counts.detection
-    return ranking, detection
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build a repro.pipeline.Pipeline instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def run_packet_simulation(
@@ -111,45 +114,42 @@ def run_packet_simulation(
 ) -> SimulationResult:
     """Run the sampling simulation on an already-expanded packet batch.
 
-    This is the lower-level entry point; most users should call
-    :func:`run_trace_simulation` with a flow-level trace instead.
+    .. deprecated:: 1.1
+        Use :class:`repro.pipeline.Pipeline`; this shim feeds the batch
+        through the pipeline executor as a single chunk.
     """
-    rng = np.random.default_rng(config.seed)
-    layouts = build_bin_layouts(batch, group_of_flow, config.bin_duration)
-    if not layouts:
-        raise ValueError("the packet batch produced no measurement bins")
-    bin_starts = np.array([layout.start_time for layout in layouts])
-    flows_per_bin = float(np.mean([layout.num_flows for layout in layouts]))
+    _warn_deprecated("run_packet_simulation")
+    from ..pipeline.executor import metric_series_for_stream, run_stream
+
+    seed_sequence = np.random.SeedSequence(config.seed)
+    children = seed_sequence.spawn(len(config.sampling_rates) * config.num_runs)
+    samplers = []
+    for rate_index, rate in enumerate(config.sampling_rates):
+        for run in range(config.num_runs):
+            child = children[rate_index * config.num_runs + run]
+            samplers.append(BernoulliSampler(rate, rng=np.random.default_rng(child)))
+
+    groups = np.asarray(group_of_flow)
+    outcome = run_stream([batch], groups, samplers, config.bin_duration, config.top_t)
 
     result = SimulationResult(
         flow_definition=flow_definition_name,
         bin_duration=config.bin_duration,
         top_t=config.top_t,
         num_runs=config.num_runs,
-        flows_per_bin=flows_per_bin,
+        flows_per_bin=outcome.flows_per_bin,
     )
-    num_packets = len(batch)
-    for rate in config.sampling_rates:
-        ranking_values = np.empty((config.num_runs, len(layouts)), dtype=float)
-        detection_values = np.empty((config.num_runs, len(layouts)), dtype=float)
-        for run in range(config.num_runs):
-            keep_mask = rng.random(num_packets) < rate
-            ranking_run, detection_run = _evaluate_run(layouts, keep_mask, config.top_t)
-            ranking_values[run] = ranking_run
-            detection_values[run] = detection_run
+    for rate_index, rate in enumerate(config.sampling_rates):
+        stream_slice = slice(
+            rate_index * config.num_runs, (rate_index + 1) * config.num_runs
+        )
         if config.evaluate_ranking:
-            result.ranking[rate] = MetricSeries(
-                problem="ranking",
-                sampling_rate=rate,
-                bin_start_times=bin_starts,
-                values=ranking_values,
+            result.ranking[rate] = metric_series_for_stream(
+                outcome, "ranking", rate, stream_slice
             )
         if config.evaluate_detection:
-            result.detection[rate] = MetricSeries(
-                problem="detection",
-                sampling_rate=rate,
-                bin_start_times=bin_starts,
-                values=detection_values,
+            result.detection[rate] = metric_series_for_stream(
+                outcome, "detection", rate, stream_slice
             )
     return result
 
@@ -161,6 +161,11 @@ def run_trace_simulation(
 ) -> SimulationResult:
     """Run the full Section-8 pipeline on a flow-level trace.
 
+    .. deprecated:: 1.1
+        Use :class:`repro.pipeline.Pipeline`; this shim builds the
+        equivalent pipeline (Bernoulli sampler per rate, materialised
+        execution) and converts its result back to the legacy container.
+
     Parameters
     ----------
     trace:
@@ -170,19 +175,29 @@ def run_trace_simulation(
         Simulation configuration.
     packet_rng:
         Random generator (or seed) used for the flow-to-packet
-        expansion.  Defaults to ``config.seed`` so a single seed
-        reproduces the entire simulation.
+        expansion.  Defaults to a generator derived from ``config.seed``
+        so a single seed reproduces the entire simulation.
     """
-    if packet_rng is None:
-        packet_rng = config.seed
-    batch = expand_to_packets(trace, rng=packet_rng, clip_to_duration=trace.duration)
-    groups = trace.group_ids(config.key_policy)
-    return run_packet_simulation(
-        batch,
-        groups,
-        config,
-        flow_definition_name=config.key_policy.name,
+    _warn_deprecated("run_trace_simulation")
+    from ..pipeline import Pipeline
+
+    pipeline = (
+        Pipeline()
+        .with_trace(trace)
+        .with_sampling_rates(config.sampling_rates)
+        .with_key_policy(config.key_policy)
+        .with_bin_duration(config.bin_duration)
+        .with_top(config.top_t)
+        .with_runs(config.num_runs)
+        .with_seed(config.seed)
+        .with_problems(
+            ranking=config.evaluate_ranking, detection=config.evaluate_detection
+        )
+        .materialised()
     )
+    if packet_rng is not None:
+        pipeline.with_packet_rng(packet_rng)
+    return pipeline.run().to_simulation_result()
 
 
 __all__ = [

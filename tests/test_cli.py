@@ -38,6 +38,121 @@ class TestPlanCommand:
         assert "not achievable" in output or "%" in output
 
 
+class TestRunCommand:
+    def test_run_with_registry_specs(self, capsys):
+        code = main(
+            [
+                "run",
+                "--trace", "sprint",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--bin", "60",
+                "--top", "3",
+                "--runs", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "pipeline run (streamed)" in output
+        assert "bernoulli(p=0.5)" in output
+        assert "ranking" in output and "detection" in output
+
+    def test_run_multiple_samplers(self, capsys):
+        main(
+            [
+                "run",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--sampler", "periodic:rate=0.5",
+                "--runs", "1",
+            ]
+        )
+        output = capsys.readouterr().out
+        assert "bernoulli(p=0.5)" in output
+        assert "periodic(1-in-2)" in output
+
+    def test_run_prefix_key_spec(self, capsys):
+        main(
+            [
+                "run",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--key", "prefix:prefix_length=24",
+                "--runs", "1",
+            ]
+        )
+        assert "/24" in capsys.readouterr().out
+
+    def test_run_writes_csv(self, capsys, tmp_path):
+        path = tmp_path / "result.csv"
+        main(
+            [
+                "run",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--runs", "1",
+                "--csv", str(path),
+            ]
+        )
+        assert path.exists()
+        assert path.read_text().startswith("problem,sampler,sampling_rate")
+
+    def test_run_trace_spec_overrides_scale_flag(self, capsys, tmp_path):
+        path = tmp_path / "bins.csv"
+        main(
+            [
+                "run",
+                "--trace", "sprint:scale=0.002,duration=120",
+                "--duration", "600",  # must lose against the spec's duration=120
+                "--sampler", "bernoulli:rate=0.5",
+                "--runs", "1",
+                "--csv", str(path),
+            ]
+        )
+        assert "pipeline run" in capsys.readouterr().out
+        bin_starts = {
+            line.split(",")[3] for line in path.read_text().splitlines()[1:]
+        }
+        # 120 s of arrivals at 60 s bins -> 2-3 bins (flow tails may spill
+        # past the window); 600 s (the flag) would give ~10.
+        assert len(bin_starts) <= 4
+
+    def test_run_chunk_packets_conflicts_with_materialised(self, capsys):
+        assert main(
+            ["run", "--materialised", "--chunk-packets", "1000", "--sampler", "bernoulli:rate=0.5"]
+        ) == 2
+        assert "--materialised" in capsys.readouterr().err
+
+    def test_unknown_sampler_reports_available_names(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "no-such-sampler:rate=0.5",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no-such-sampler" in err
+        assert "bernoulli" in err
+
+    def test_malformed_spec_reports_error(self, capsys):
+        assert main(["run", "--sampler", "bernoulli:rate"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_list_components(self, capsys):
+        assert main(["run", "--list-components"]) == 0
+        output = capsys.readouterr().out
+        assert "bernoulli" in output
+        assert "five-tuple" in output
+        assert "sprint" in output
+
+
 class TestSimulateCommand:
     def test_small_simulation(self, capsys):
         code = main(

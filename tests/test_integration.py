@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import runpy
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -124,3 +127,24 @@ class TestEndToEndPipeline:
             result.series("detection", 0.1).overall_mean
             <= result.series("ranking", 0.1).overall_mean
         )
+
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestExamplesRunEndToEnd:
+    """The Pipeline-based examples must execute without errors."""
+
+    def test_quickstart_example(self, capsys):
+        module = runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"))
+        module["main"](scale=0.001, duration=120.0)
+        output = capsys.readouterr().out
+        assert "misrank" in output
+        assert "pipeline run (streamed)" in output
+
+    def test_trace_driven_simulation_example(self, capsys):
+        module = runpy.run_path(str(EXAMPLES_DIR / "trace_driven_simulation.py"))
+        module["main"](scale=0.002, duration=180.0, runs=2, rates=(0.1, 0.5))
+        output = capsys.readouterr().out
+        assert "pipeline run (streamed)" in output
+        assert "Analytical model" in output

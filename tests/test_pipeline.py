@@ -1,0 +1,397 @@
+"""Tests for the repro.pipeline subsystem.
+
+Covers the builder API, the streaming-vs-materialised equivalence that
+the executor guarantees, sampler state isolation between runs, result
+export, and the legacy shims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.flows.keys import DestinationPrefixKeyPolicy
+from repro.flows.packets import PacketBatch
+from repro.pipeline import Pipeline, PipelineResult
+from repro.pipeline.executor import iter_expanded_chunks
+from repro.sampling import BernoulliSampler, PeriodicSampler
+from repro.sampling.base import PacketSampler
+from repro.simulation import SimulationConfig, run_packet_simulation, run_trace_simulation
+from repro.traces import SyntheticTraceGenerator, sprint_like_config
+
+
+def _base_pipeline(trace, rates=(0.01, 0.5), runs=3, seed=7) -> Pipeline:
+    return (
+        Pipeline()
+        .with_trace(trace)
+        .with_sampling_rates(rates)
+        .with_bin_duration(60.0)
+        .with_top(5)
+        .with_runs(runs)
+        .with_seed(seed)
+    )
+
+
+class TestBuilder:
+    def test_fluent_builder_returns_self(self):
+        pipeline = Pipeline()
+        assert pipeline.with_bin_duration(30.0) is pipeline
+        assert pipeline.with_top(3) is pipeline
+        assert pipeline.with_runs(2) is pipeline
+        assert pipeline.with_seed(1) is pipeline
+        assert pipeline.streaming(1000) is pipeline
+        assert pipeline.materialised() is pipeline
+
+    def test_validation_errors(self, small_trace):
+        with pytest.raises(ValueError, match="trace"):
+            Pipeline().with_sampler("bernoulli", rate=0.1).run()
+        with pytest.raises(ValueError, match="sampler"):
+            Pipeline().with_trace(small_trace).run()
+        with pytest.raises(ValueError):
+            Pipeline().with_bin_duration(0.0).with_trace(small_trace).with_sampler(
+                "bernoulli", rate=0.1
+            ).run()
+        with pytest.raises(ValueError):
+            Pipeline().with_problems(ranking=False, detection=False)
+        with pytest.raises(ValueError):
+            Pipeline().streaming(0)
+
+    def test_from_spec_strings(self, small_trace):
+        pipeline = Pipeline.from_spec(
+            trace="sprint:scale=0.002,duration=120",
+            sampler=["bernoulli:rate=0.5", "periodic:rate=0.5"],
+            key="prefix:prefix_length=24",
+            bin_duration=60.0,
+            top_t=3,
+            num_runs=2,
+            seed=1,
+        )
+        result = pipeline.run()
+        assert result.flow_definition == "/24 destination prefix"
+        assert len(result.labels) == 2
+        assert result.num_runs == 2
+
+    def test_key_policy_object(self, small_trace):
+        result = (
+            _base_pipeline(small_trace, rates=(0.5,), runs=1)
+            .with_key_policy(DestinationPrefixKeyPolicy(24))
+            .run()
+        )
+        assert result.flow_definition == "/24 destination prefix"
+
+    def test_unknown_component_names_surface(self, small_trace):
+        with pytest.raises(KeyError, match="bernoulli"):
+            _base_pipeline(small_trace).with_sampler("no-such-sampler").run()
+
+
+class TestStreamingEquivalence:
+    def test_streaming_matches_materialised_exactly(self, small_trace):
+        """Same seed => identical MetricSeries for any chunk size."""
+        streamed = _base_pipeline(small_trace).streaming(2048).run()
+        materialised = _base_pipeline(small_trace).materialised().run()
+        assert streamed.streamed and not materialised.streamed
+        assert streamed.labels == materialised.labels
+        for label in streamed.labels:
+            for problem in ("ranking", "detection"):
+                a = streamed.series(problem, label)
+                b = materialised.series(problem, label)
+                np.testing.assert_array_equal(a.values, b.values)
+                np.testing.assert_array_equal(a.bin_start_times, b.bin_start_times)
+
+    def test_equivalence_holds_for_stateful_samplers(self, small_trace):
+        """Periodic (counter) and flow-hash samplers are chunk-invariant too."""
+        def build(pipeline):
+            return (
+                pipeline.with_trace(small_trace)
+                .with_sampler("periodic", rate=0.1)
+                .with_sampler("flow-hash", rate=0.1)
+                .with_runs(2)
+                .with_seed(3)
+            )
+
+        streamed = build(Pipeline()).streaming(1500).run()
+        materialised = build(Pipeline()).materialised().run()
+        for label in streamed.labels:
+            np.testing.assert_array_equal(
+                streamed.series("ranking", label).values,
+                materialised.series("ranking", label).values,
+            )
+
+    def test_repeated_runs_are_reproducible(self, small_trace):
+        pipeline = _base_pipeline(small_trace).streaming(4096)
+        first = pipeline.run()
+        second = pipeline.run()
+        for label in first.labels:
+            np.testing.assert_array_equal(
+                first.series("ranking", label).values,
+                second.series("ranking", label).values,
+            )
+
+    def test_repeated_runs_reproducible_with_packet_rng_generator(self, small_trace):
+        """A caller-supplied Generator is copied per run, never consumed."""
+        rng = np.random.default_rng(0)
+        pipeline = _base_pipeline(small_trace, rates=(0.5,), runs=1).with_packet_rng(rng)
+        first = pipeline.run()
+        second = pipeline.run()
+        np.testing.assert_array_equal(
+            first.series("ranking", 0.5).values, second.series("ranking", 0.5).values
+        )
+
+    def test_chunk_iteration_covers_all_packets_in_time_order(self, small_trace):
+        rng_a = np.random.default_rng(11)
+        chunks = list(iter_expanded_chunks(small_trace, rng_a, chunk_packets=1000))
+        assert len(chunks) > 1
+        assert sum(len(chunk) for chunk in chunks) == small_trace.total_packets
+        # The concatenation of the chunks is the globally time-sorted
+        # stream — what a monitor on the link would see.
+        timestamps = np.concatenate([chunk.timestamps for chunk in chunks])
+        assert np.all(np.diff(timestamps) >= 0)
+
+    def test_chunked_expansion_matches_unchunked(self, small_trace):
+        chunked = list(iter_expanded_chunks(small_trace, np.random.default_rng(5), 777))
+        whole = list(iter_expanded_chunks(small_trace, np.random.default_rng(5), None))
+        assert len(whole) == 1
+        np.testing.assert_allclose(
+            np.concatenate([chunk.timestamps for chunk in chunked]),
+            whole[0].timestamps,
+        )
+
+    def test_samplers_see_the_time_ordered_stream(self, small_trace):
+        """Order-dependent samplers (periodic 1-in-N) need the physical order."""
+
+        class _TimestampRecorder(PacketSampler):
+            seen: list[np.ndarray] = []  # class-level: shared with spawned clones
+            name = "recorder"
+
+            def sample_packet(self, packet) -> bool:
+                return True
+
+            def sample_mask(self, batch) -> np.ndarray:
+                type(self).seen.append(batch.timestamps.copy())
+                return np.ones(len(batch), dtype=bool)
+
+            @property
+            def effective_rate(self) -> float:
+                return 1.0
+
+        _TimestampRecorder.seen = []
+        (
+            Pipeline()
+            .with_trace(small_trace)
+            .with_sampler(_TimestampRecorder())
+            .with_runs(1)
+            .with_seed(0)
+            .streaming(700)
+            .run()
+        )
+        timestamps = np.concatenate(_TimestampRecorder.seen)
+        assert timestamps.size == small_trace.total_packets
+        assert np.all(np.diff(timestamps) >= 0)
+
+    def test_run_stream_rejects_out_of_order_chunks(self):
+        from repro.pipeline.executor import run_stream
+
+        late = PacketBatch(np.array([100.0, 101.0]), np.array([0, 0]))
+        early = PacketBatch(np.array([0.0, 1.0]), np.array([0, 0]))
+        with pytest.raises(ValueError, match="time order"):
+            run_stream([late, early], np.arange(1), [BernoulliSampler(0.5, rng=0)], 60.0, 1)
+
+
+class _CountingSampler(PacketSampler):
+    """Stateful sampler that keeps the first packets of the stream only.
+
+    Without a reset between runs, later runs would keep nothing —
+    exactly the state-leak failure mode the pipeline must prevent.
+    """
+
+    name = "counting"
+
+    def __init__(self, budget: int) -> None:
+        self.budget = budget
+        self.consumed = 0
+        self.resets = 0
+
+    def sample_packet(self, packet) -> bool:
+        keep = self.consumed < self.budget
+        self.consumed += 1
+        return keep
+
+    def sample_mask(self, batch) -> np.ndarray:
+        indices = self.consumed + np.arange(len(batch))
+        self.consumed += len(batch)
+        return indices < self.budget
+
+    @property
+    def effective_rate(self) -> float:
+        return 1.0
+
+    def reset(self) -> None:
+        self.consumed = 0
+        self.resets += 1
+
+
+class TestSamplerStateIsolation:
+    def test_stateful_sampler_reset_between_runs(self, small_trace):
+        """Regression: every run must see a freshly reset sampler.
+
+        A sampler keeping only the first 500 packets of the stream gives
+        identical (deterministic) results for every run if and only if
+        its state does not leak across runs or rates.
+        """
+        sampler = _CountingSampler(budget=500)
+        result = (
+            Pipeline()
+            .with_trace(small_trace)
+            .with_sampler(sampler)
+            .with_runs(3)
+            .with_seed(1)
+            .streaming(900)
+            .run()
+        )
+        values = result.series("ranking", result.labels[0]).values
+        np.testing.assert_array_equal(values[0], values[1])
+        np.testing.assert_array_equal(values[1], values[2])
+        # The prototype instance itself is never consumed.
+        assert sampler.consumed == 0
+
+    def test_periodic_instance_runs_identical(self, small_trace):
+        result = (
+            Pipeline()
+            .with_trace(small_trace)
+            .with_sampler(PeriodicSampler(period=10))
+            .with_runs(2)
+            .with_seed(2)
+            .run()
+        )
+        values = result.series("ranking", result.labels[0]).values
+        np.testing.assert_array_equal(values[0], values[1])
+
+    def test_spawn_resets_state_and_preserves_original(self):
+        sampler = PeriodicSampler(period=4, phase=1)
+        batch = PacketBatch(np.linspace(0, 1, 10), np.zeros(10, dtype=np.int64))
+        sampler.sample_mask(batch)
+        assert sampler._counter == 10
+        clone = sampler.spawn()
+        assert clone._counter == 0
+        assert sampler._counter == 10
+
+    def test_spawn_reseeds_random_samplers(self):
+        sampler = BernoulliSampler(0.5, rng=0)
+        batch = PacketBatch(np.linspace(0, 1, 1000), np.zeros(1000, dtype=np.int64))
+        clone_a = sampler.spawn(np.random.default_rng(1))
+        clone_b = sampler.spawn(np.random.default_rng(2))
+        mask_a = clone_a.sample_mask(batch)
+        mask_b = clone_b.sample_mask(batch)
+        assert not np.array_equal(mask_a, mask_b)
+
+
+class TestPipelineResult:
+    @pytest.fixture(scope="class")
+    def result(self) -> PipelineResult:
+        config = sprint_like_config(scale=0.003, duration=240.0)
+        trace = SyntheticTraceGenerator(config).generate(rng=9)
+        return _base_pipeline(trace, rates=(0.01, 0.5), runs=2, seed=9).run()
+
+    def test_series_lookup_by_label_and_rate(self, result):
+        label = result.labels[0]
+        by_label = result.series("ranking", label)
+        by_rate = result.series("ranking", result.samplers[0].effective_rate)
+        assert by_label is by_rate
+
+    def test_unknown_series_raises(self, result):
+        with pytest.raises(KeyError):
+            result.series("ranking", "nope")
+        with pytest.raises(KeyError):
+            result.series("ranking", 0.123)
+        with pytest.raises(KeyError):
+            result.series("precision", result.labels[0])
+
+    def test_summary_rows(self, result):
+        rows = result.summary_rows()
+        assert len(rows) == 4  # 2 problems x 2 samplers
+        assert {row["problem"] for row in rows} == {"ranking", "detection"}
+        assert all("sampler" in row for row in rows)
+
+    def test_to_dict_round_trips_key_fields(self, result):
+        data = result.to_dict()
+        assert data["top_t"] == 5
+        assert set(data["ranking"]) == set(result.labels)
+        series = data["ranking"][result.labels[0]]
+        assert len(series["mean"]) == len(series["bin_start_times"])
+
+    def test_to_csv(self, result, tmp_path):
+        path = tmp_path / "out.csv"
+        text = result.to_csv(path)
+        assert path.read_text() == text
+        lines = text.strip().splitlines()
+        header = lines[0].split(",")
+        assert header[:3] == ["problem", "sampler", "sampling_rate"]
+        num_bins = result.series("ranking", result.labels[0]).num_bins
+        assert len(lines) == 1 + 4 * num_bins
+
+    def test_to_simulation_result(self, result):
+        legacy = result.to_simulation_result()
+        assert legacy.flow_definition == result.flow_definition
+        assert legacy.sampling_rates == result.sampling_rates
+        np.testing.assert_array_equal(
+            legacy.series("ranking", 0.5).values,
+            result.series("ranking", 0.5).values,
+        )
+
+    def test_higher_rate_gives_lower_metric(self, result):
+        assert (
+            result.series("ranking", 0.5).overall_mean
+            < result.series("ranking", 0.01).overall_mean
+        )
+
+    def test_detection_no_harder_than_ranking(self, result):
+        for label in result.labels:
+            assert (
+                result.series("detection", label).overall_mean
+                <= result.series("ranking", label).overall_mean + 1e-9
+            )
+
+
+class TestLegacyShims:
+    def test_run_trace_simulation_warns_and_matches_streaming(self, small_trace):
+        """The legacy shim and the streaming pipeline agree bit-for-bit."""
+        config = SimulationConfig(
+            bin_duration=60.0, top_t=5, sampling_rates=(0.01, 0.5), num_runs=2, seed=13
+        )
+        with pytest.warns(DeprecationWarning):
+            legacy = run_trace_simulation(small_trace, config)
+
+        streamed = (
+            Pipeline()
+            .with_trace(small_trace)
+            .with_sampling_rates(config.sampling_rates)
+            .with_key_policy(config.key_policy)
+            .with_bin_duration(config.bin_duration)
+            .with_top(config.top_t)
+            .with_runs(config.num_runs)
+            .with_seed(config.seed)
+            .streaming(4096)
+            .run()
+        )
+        for rate in config.sampling_rates:
+            np.testing.assert_array_equal(
+                legacy.series("ranking", rate).values,
+                streamed.series("ranking", rate).values,
+            )
+            np.testing.assert_array_equal(
+                legacy.series("detection", rate).values,
+                streamed.series("detection", rate).values,
+            )
+
+    def test_run_packet_simulation_warns(self, small_trace):
+        from repro.traces import expand_to_packets
+
+        batch = expand_to_packets(small_trace, rng=3, clip_to_duration=small_trace.duration)
+        groups = np.arange(small_trace.num_flows)
+        config = SimulationConfig(
+            bin_duration=60.0, top_t=3, sampling_rates=(0.5,), num_runs=2, seed=3
+        )
+        with pytest.warns(DeprecationWarning):
+            result = run_packet_simulation(batch, groups, config)
+        assert result.series("ranking", 0.5).num_runs == 2
+        assert result.flows_per_bin > 0

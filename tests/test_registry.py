@@ -1,0 +1,142 @@
+"""Tests for the string-keyed component registries and spec parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy, FlowKeyPolicy
+from repro.registry import (
+    DISTRIBUTIONS,
+    KEY_POLICIES,
+    SAMPLERS,
+    TRACES,
+    Registry,
+    UnknownComponentError,
+    parse_spec,
+)
+from repro.sampling.base import PacketSampler
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+
+class TestRegistry:
+    def test_register_and_create(self):
+        registry = Registry("demo")
+
+        @registry.register("widget", aliases=("w",))
+        def make_widget(size=1):
+            return ("widget", size)
+
+        assert registry.create("widget", size=3) == ("widget", 3)
+        assert registry.create("w") == ("widget", 1)
+        assert "widget" in registry and "w" in registry
+        assert registry.names() == ("widget",)
+
+    def test_unknown_name_lists_available_keys(self):
+        with pytest.raises(UnknownComponentError) as excinfo:
+            SAMPLERS.create("no-such-sampler")
+        message = str(excinfo.value)
+        for name in SAMPLERS.names():
+            assert name in message
+        assert "no-such-sampler" in message
+
+    def test_unknown_component_is_a_key_error(self):
+        with pytest.raises(KeyError):
+            KEY_POLICIES.get("nope")
+
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("demo")
+        registry.register("a", lambda: 1)
+        with pytest.raises(ValueError):
+            registry.register("a", lambda: 2)
+        with pytest.raises(ValueError):
+            registry.register("b", lambda: 3, aliases=("a",))
+
+    def test_bad_kwargs_give_helpful_error(self):
+        with pytest.raises(TypeError) as excinfo:
+            SAMPLERS.create("bernoulli", rate=0.1, bogus=1)
+        assert "bernoulli" in str(excinfo.value)
+
+
+class TestParseSpec:
+    def test_name_only(self):
+        assert parse_spec("bernoulli") == ("bernoulli", {})
+
+    def test_name_with_kwargs(self):
+        name, kwargs = parse_spec("periodic:rate=0.1,phase=3")
+        assert name == "periodic"
+        assert kwargs == {"rate": 0.1, "phase": 3}
+
+    def test_string_values_kept_verbatim(self):
+        assert parse_spec("x:mode=fast")[1] == {"mode": "fast"}
+
+    def test_bool_and_none_literals(self):
+        assert parse_spec("x:flag=True,empty=None")[1] == {"flag": True, "empty": None}
+
+    def test_tuple_and_list_values_survive_commas(self):
+        assert parse_spec("x:rates=(0.1,0.5),n=2")[1] == {"rates": (0.1, 0.5), "n": 2}
+        assert parse_spec("x:items=[1,2,3]")[1] == {"items": [1, 2, 3]}
+
+    def test_malformed_spec_rejected(self):
+        with pytest.raises(ValueError):
+            parse_spec(":rate=0.1")
+        with pytest.raises(ValueError):
+            parse_spec("bernoulli:rate")
+
+
+class TestBuiltinSamplers:
+    @pytest.mark.parametrize("name", SAMPLERS.names())
+    def test_round_trip_every_builtin_sampler(self, name):
+        """Every registered sampler is constructible from name + rate."""
+        sampler = SAMPLERS.create(name, rate=0.1)
+        assert isinstance(sampler, PacketSampler)
+        assert sampler.effective_rate == pytest.approx(0.1, rel=0.01)
+
+    def test_periodic_by_period(self):
+        sampler = SAMPLERS.create("periodic", period=20)
+        assert sampler.effective_rate == pytest.approx(0.05)
+
+    def test_periodic_needs_exactly_one_of_rate_and_period(self):
+        with pytest.raises((TypeError, ValueError)):
+            SAMPLERS.create("periodic")
+        with pytest.raises((TypeError, ValueError)):
+            SAMPLERS.create("periodic", rate=0.1, period=10)
+
+    def test_aliases_resolve(self):
+        assert SAMPLERS.create("random", rate=0.2).effective_rate == pytest.approx(0.2)
+        assert SAMPLERS.create("hash", rate=0.2).effective_rate == pytest.approx(0.2)
+
+
+class TestBuiltinKeyPolicies:
+    @pytest.mark.parametrize("name", KEY_POLICIES.names())
+    def test_round_trip_every_builtin_key_policy(self, name):
+        policy = KEY_POLICIES.create(name)
+        assert isinstance(policy, FlowKeyPolicy)
+        assert policy.name
+
+    def test_five_tuple_aliases(self):
+        for alias in ("five-tuple", "5-tuple", "5tuple"):
+            assert isinstance(KEY_POLICIES.create(alias), FiveTupleKeyPolicy)
+
+    def test_prefix_kwargs(self):
+        policy = KEY_POLICIES.create("prefix", prefix_length=16)
+        assert isinstance(policy, DestinationPrefixKeyPolicy)
+        assert policy.prefix_length == 16
+        assert "/16" in policy.name
+
+
+class TestBuiltinDistributionsAndTraces:
+    @pytest.mark.parametrize("name", DISTRIBUTIONS.names())
+    def test_distributions_constructible_with_defaults(self, name):
+        distribution = DISTRIBUTIONS.create(name)
+        assert distribution.mean > 0
+
+    def test_pareto_kwargs(self):
+        distribution = DISTRIBUTIONS.create("pareto", mean=20.0, shape=1.2)
+        assert distribution.mean == pytest.approx(20.0)
+
+    @pytest.mark.parametrize("name", TRACES.names())
+    def test_traces_generate(self, name):
+        generator = TRACES.create(name, scale=0.001, duration=60.0)
+        assert isinstance(generator, SyntheticTraceGenerator)
+        trace = generator.generate(rng=5)
+        assert trace.num_flows >= 2
