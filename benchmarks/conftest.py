@@ -36,5 +36,10 @@ def trace_settings() -> dict[str, float]:
     benchmarks scale the flow arrival rate to 2% of the Sprint value and
     use 5 runs over 15 minutes so the whole harness finishes in a few
     minutes.  See EXPERIMENTS.md for the substitution note.
+
+    ``jobs=None`` lets the pipeline's auto backend fan the independent
+    sampling runs out across worker processes on multi-core machines
+    (results are bit-identical to serial execution, so the printed
+    series do not depend on the core count).
     """
-    return {"scale": 0.02, "num_runs": 5, "trace_duration": 900.0}
+    return {"scale": 0.02, "num_runs": 5, "trace_duration": 900.0, "jobs": None}

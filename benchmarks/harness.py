@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""Performance harness for the ``repro.pipeline`` execution engine.
+
+Times the representative workloads of the library — packet expansion,
+the paper's (sampler x run) sweep in serial and in parallel, and the
+streaming executor at several chunk sizes — and writes the measurements
+to ``BENCH_pipeline.json`` at the repository root, so that every future
+optimisation PR has a recorded trajectory to beat.
+
+Run it from the repository root (no pytest involved)::
+
+    PYTHONPATH=src python benchmarks/harness.py            # full measurement
+    PYTHONPATH=src python benchmarks/harness.py --quick    # CI smoke variant
+    PYTHONPATH=src python benchmarks/harness.py --jobs 4   # pin the worker count
+
+The sweep section runs the *same* pipeline through the serial and the
+process backends and asserts the results are bit-identical before
+reporting the speedup, so a regression in determinism fails the harness
+rather than polluting the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.pipeline import Pipeline  # noqa: E402
+
+#: Sampling rates of the paper's trace-driven sweep (Figs. 12-15).
+SWEEP_RATES = (0.001, 0.01, 0.1, 0.5)
+
+#: Streaming chunk sizes to compare (packets); ``None`` = materialised.
+CHUNK_SIZES = (1 << 14, 1 << 16, 1 << 18, None)
+
+
+def _pipeline(args: argparse.Namespace, rates=SWEEP_RATES, runs=None) -> Pipeline:
+    return (
+        Pipeline()
+        .with_trace("sprint", scale=args.scale, duration=args.duration)
+        .with_sampling_rates(rates)
+        .with_bin_duration(60.0)
+        .with_top(10)
+        .with_runs(args.runs if runs is None else runs)
+        .with_seed(args.seed)
+        .streaming()
+    )
+
+
+def _timed(func):
+    start = time.perf_counter()
+    value = func()
+    return time.perf_counter() - start, value
+
+
+def bench_expansion(args: argparse.Namespace) -> dict:
+    """Throughput of the chunked packet expansion alone."""
+    plan = _pipeline(args).plan()
+    def consume() -> int:
+        return sum(len(chunk) for chunk in _iter(plan))
+    def _iter(plan):
+        from repro.pipeline.executor import iter_expanded_chunks
+        return iter_expanded_chunks(
+            plan.trace, plan._expand_rng(), chunk_packets=plan.chunk_packets,
+            clip_to_duration=plan.clip_to_duration,
+        )
+    seconds, packets = _timed(consume)
+    return {
+        "seconds": round(seconds, 4),
+        "packets": packets,
+        "packets_per_second": round(packets / seconds) if seconds else None,
+    }
+
+
+def bench_sweep(args: argparse.Namespace) -> dict:
+    """The paper's rate sweep: serial vs process backend, bit-checked."""
+    serial_seconds, serial_result = _timed(lambda: _pipeline(args).run(parallel="serial"))
+    parallel_seconds, parallel_result = _timed(
+        lambda: _pipeline(args).run(parallel="process", jobs=args.jobs)
+    )
+    identical = serial_result.to_dict() == parallel_result.to_dict()
+    if not identical:
+        raise SystemExit("FATAL: serial and process backends disagree — determinism regression")
+    plan = _pipeline(args).plan()
+    return {
+        "cells": plan.num_cells,
+        "packet_work": plan.packet_work,
+        "jobs": args.jobs,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "speedup": round(serial_seconds / parallel_seconds, 3) if parallel_seconds else None,
+        "bit_identical": identical,
+    }
+
+
+def bench_streaming(args: argparse.Namespace) -> dict:
+    """Single-sampler run at several streaming chunk sizes."""
+    timings: dict[str, float] = {}
+    for chunk in CHUNK_SIZES:
+        pipeline = _pipeline(args, rates=(0.1,), runs=2)
+        if chunk is None:
+            pipeline.materialised()
+        else:
+            pipeline.streaming(chunk)
+        seconds, _ = _timed(lambda: pipeline.run(parallel="serial"))
+        key = "materialised" if chunk is None else f"chunk_{chunk}"
+        timings[key] = round(seconds, 4)
+    return timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.05, help="fraction of backbone flow rate")
+    parser.add_argument("--duration", type=float, default=900.0, help="trace duration in seconds")
+    parser.add_argument("--runs", type=int, default=10, help="sampling runs per rate")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="workers for the parallel sweep (default: one per CPU)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_pipeline.json",
+        help="where to write the JSON baseline",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny workload for CI smoke runs (numbers are not a baseline)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.scale, args.duration, args.runs = 0.002, 120.0, 2
+    if args.jobs is None:
+        args.jobs = os.cpu_count() or 1
+
+    report = {
+        "benchmark": "repro.pipeline execution engine",
+        "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick": args.quick,
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": {
+            "trace": "sprint",
+            "scale": args.scale,
+            "duration_s": args.duration,
+            "rates": list(SWEEP_RATES),
+            "runs": args.runs,
+            "seed": args.seed,
+            "bin_duration_s": 60.0,
+            "top_t": 10,
+        },
+        "results": {},
+    }
+
+    print(f"expansion   ... ", end="", flush=True)
+    report["results"]["expansion"] = expansion = bench_expansion(args)
+    print(f"{expansion['packets']:,} packets in {expansion['seconds']}s")
+
+    print(f"sweep       ... ", end="", flush=True)
+    report["results"]["sweep"] = sweep = bench_sweep(args)
+    print(
+        f"serial {sweep['serial_seconds']}s vs {sweep['jobs']}-proc "
+        f"{sweep['parallel_seconds']}s -> speedup {sweep['speedup']}x (bit-identical)"
+    )
+
+    print(f"streaming   ... ", end="", flush=True)
+    report["results"]["streaming"] = streaming = bench_streaming(args)
+    print(", ".join(f"{key}={value}s" for key, value in streaming.items()))
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,8 +15,11 @@ Four subcommands cover the workflows the library supports:
 
 Component specs use the ``name:key=value,key=value`` syntax of
 :func:`repro.registry.parse_spec`; ``repro run --list-components``
-prints every registered name.  Run ``python -m repro --help`` for the
-full option list.
+prints every registered name.  ``run``, ``figure`` and ``simulate``
+accept ``--jobs N`` to fan the independent sampling runs out across
+``N`` worker processes (results are bit-identical to a serial run for
+the same seed).  Run ``python -m repro --help`` for the full option
+list; ``docs/cli.md`` is the complete reference with examples.
 """
 
 from __future__ import annotations
@@ -89,6 +92,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="expand the whole packet trace in memory instead of streaming",
     )
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the independent sampling runs "
+        "(default: auto — parallel only when the workload is large; 1 forces serial)",
+    )
     run.add_argument("--csv", metavar="PATH", help="also write a per-bin CSV to PATH")
     run.add_argument(
         "--list-components",
@@ -101,6 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "name",
         choices=sorted(list(ANALYTICAL_FIGURES) + list(TRACE_FIGURES)),
         help="figure identifier (fig01..fig16)",
+    )
+    figure.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for trace-driven figures (fig12..fig16); "
+        "ignored by the analytical figures",
     )
 
     plan = subparsers.add_parser("plan", help="required sampling rate for a link profile")
@@ -128,6 +147,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--prefix", action="store_true", help="use the /24 prefix flow definition")
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the independent sampling runs (default: auto)",
+    )
     return parser
 
 
@@ -170,7 +196,7 @@ def _run_pipeline(args: argparse.Namespace) -> str:
         pipeline.streaming(
             DEFAULT_CHUNK_PACKETS if args.chunk_packets is None else args.chunk_packets
         )
-    result = pipeline.run()
+    result = pipeline.run(jobs=args.jobs)
     text = render_pipeline_result(result)
     if args.csv:
         result.to_csv(args.csv)
@@ -178,11 +204,11 @@ def _run_pipeline(args: argparse.Namespace) -> str:
     return text
 
 
-def _run_figure(name: str) -> str:
+def _run_figure(name: str, jobs: int | None = None) -> str:
     if name in ANALYTICAL_FIGURES:
         return render_figure_result(ANALYTICAL_FIGURES[name]())
     driver = TRACE_FIGURES[name]
-    return render_simulation_result(driver())
+    return render_simulation_result(driver(jobs=jobs))
 
 
 def _run_plan(args: argparse.Namespace) -> str:
@@ -214,7 +240,7 @@ def _run_simulate(args: argparse.Namespace) -> str:
         .with_seed(args.seed)
         .streaming()
     )
-    return render_simulation_result(pipeline.run().to_simulation_result())
+    return render_simulation_result(pipeline.run(jobs=args.jobs).to_simulation_result())
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -227,7 +253,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     elif args.command == "figure":
-        output = _run_figure(args.name)
+        output = _run_figure(args.name, jobs=args.jobs)
     elif args.command == "plan":
         output = _run_plan(args)
     elif args.command == "simulate":

@@ -11,7 +11,20 @@ The trace-driven drivers accept a ``scale`` parameter because the paper
 works at backbone scale (tens of millions of packets per trace); the
 default scale keeps a laptop run in seconds while preserving the shapes
 of all distributions.  EXPERIMENTS.md records the scale used for the
-reported numbers.
+reported numbers.  They also accept ``jobs`` to fan the independent
+sampling runs out across worker processes (``repro figure fig12
+--jobs 4``); parallel results are bit-identical to serial ones.
+
+Drivers are looked up by figure id in :data:`ANALYTICAL_FIGURES` and
+:data:`TRACE_FIGURES`:
+
+>>> sorted(ANALYTICAL_FIGURES)[:3]
+['fig01', 'fig02', 'fig03']
+>>> sorted(TRACE_FIGURES)
+['fig12', 'fig13', 'fig14', 'fig15', 'fig16']
+>>> result = figure_03_gaussian_error(num_points=4, max_size=100)
+>>> result.figure, result.x_values.size
+('fig03', 4)
 """
 
 from __future__ import annotations
@@ -338,6 +351,7 @@ def _trace_simulation(
     abilene: bool = False,
     rates: tuple[float, ...] = (0.001, 0.01, 0.1, 0.5),
     top_t: int = 10,
+    jobs: int | None = None,
 ) -> SimulationResult:
     pipeline = (
         Pipeline()
@@ -350,7 +364,7 @@ def _trace_simulation(
         .with_seed(seed)
         .streaming()
     )
-    return pipeline.run().to_simulation_result()
+    return pipeline.run(jobs=jobs).to_simulation_result()
 
 
 def figure_12_trace_ranking_five_tuple(
@@ -359,9 +373,10 @@ def figure_12_trace_ranking_five_tuple(
     num_runs: int = DEFAULT_TRACE_RUNS,
     seed: int = 12,
     trace_duration: float = 1800.0,
+    jobs: int | None = None,
 ) -> SimulationResult:
     """Fig. 12 — trace-driven ranking of the top 10 flows (5-tuple)."""
-    return _trace_simulation(False, bin_duration, scale, num_runs, seed, trace_duration)
+    return _trace_simulation(False, bin_duration, scale, num_runs, seed, trace_duration, jobs=jobs)
 
 
 def figure_13_trace_ranking_prefix(
@@ -370,9 +385,10 @@ def figure_13_trace_ranking_prefix(
     num_runs: int = DEFAULT_TRACE_RUNS,
     seed: int = 13,
     trace_duration: float = 1800.0,
+    jobs: int | None = None,
 ) -> SimulationResult:
     """Fig. 13 — trace-driven ranking of the top 10 flows (/24 prefix)."""
-    return _trace_simulation(True, bin_duration, scale, num_runs, seed, trace_duration)
+    return _trace_simulation(True, bin_duration, scale, num_runs, seed, trace_duration, jobs=jobs)
 
 
 def figure_14_trace_detection_five_tuple(
@@ -381,9 +397,10 @@ def figure_14_trace_detection_five_tuple(
     num_runs: int = DEFAULT_TRACE_RUNS,
     seed: int = 14,
     trace_duration: float = 1800.0,
+    jobs: int | None = None,
 ) -> SimulationResult:
     """Fig. 14 — trace-driven detection of the top 10 flows (5-tuple)."""
-    return _trace_simulation(False, bin_duration, scale, num_runs, seed, trace_duration)
+    return _trace_simulation(False, bin_duration, scale, num_runs, seed, trace_duration, jobs=jobs)
 
 
 def figure_15_trace_detection_prefix(
@@ -392,9 +409,10 @@ def figure_15_trace_detection_prefix(
     num_runs: int = DEFAULT_TRACE_RUNS,
     seed: int = 15,
     trace_duration: float = 1800.0,
+    jobs: int | None = None,
 ) -> SimulationResult:
     """Fig. 15 — trace-driven detection of the top 10 flows (/24 prefix)."""
-    return _trace_simulation(True, bin_duration, scale, num_runs, seed, trace_duration)
+    return _trace_simulation(True, bin_duration, scale, num_runs, seed, trace_duration, jobs=jobs)
 
 
 def figure_16_trace_ranking_abilene(
@@ -403,6 +421,7 @@ def figure_16_trace_ranking_abilene(
     num_runs: int = DEFAULT_TRACE_RUNS,
     seed: int = 16,
     trace_duration: float = 1800.0,
+    jobs: int | None = None,
 ) -> SimulationResult:
     """Fig. 16 — trace-driven ranking on an Abilene-like short-tailed trace."""
     return _trace_simulation(
@@ -414,6 +433,7 @@ def figure_16_trace_ranking_abilene(
         trace_duration,
         abilene=True,
         rates=(0.001, 0.01, 0.1, 0.8),
+        jobs=jobs,
     )
 
 

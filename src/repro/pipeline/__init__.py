@@ -2,11 +2,14 @@
 
 This package is the one public way to run any experiment of the
 reproduction.  See :class:`Pipeline` for the facade,
-:mod:`repro.registry` for the string-keyed component registries, and
-:mod:`repro.pipeline.executor` for the streaming execution engine.
+:mod:`repro.registry` for the string-keyed component registries,
+:mod:`repro.pipeline.executor` for the streaming execution engine, and
+:mod:`repro.pipeline.parallel` for the multi-process dispatch of the
+independent (sampler, run) cells.
 """
 
 from .executor import DEFAULT_CHUNK_PACKETS, iter_expanded_chunks, run_stream
+from .parallel import BACKENDS, Cell, ExecutionPlan
 from .pipeline import Pipeline, SamplerSpec
 from .result import PipelineResult, SamplerSummary
 
@@ -18,4 +21,7 @@ __all__ = [
     "DEFAULT_CHUNK_PACKETS",
     "iter_expanded_chunks",
     "run_stream",
+    "BACKENDS",
+    "Cell",
+    "ExecutionPlan",
 ]

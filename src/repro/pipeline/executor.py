@@ -29,6 +29,28 @@ rather than approximate:
 Consequently ``chunk_packets=None`` (materialise everything) and any
 finite chunk size produce identical :class:`MetricSeries` for the same
 seed — a property the test suite asserts.
+
+The chunk iterator is usable on its own; the concatenation of the
+chunks is always the globally time-sorted packet stream:
+
+>>> import numpy as np
+>>> from repro.traces.flow_trace import FlowLevelTrace
+>>> trace = FlowLevelTrace(
+...     start_times=[0.0, 1.0],
+...     durations=[5.0, 2.0],
+...     sizes_packets=[6, 3],
+...     src_ips=[1, 2],
+...     dst_ips=[9, 9],
+...     src_ports=[1, 2],
+...     dst_ports=[80, 80],
+...     protocols=[6, 6],
+... )
+>>> chunks = list(iter_expanded_chunks(trace, np.random.default_rng(0), chunk_packets=4))
+>>> sum(len(chunk) for chunk in chunks)
+9
+>>> timestamps = np.concatenate([chunk.timestamps for chunk in chunks])
+>>> bool(np.all(np.diff(timestamps) >= 0))
+True
 """
 
 from __future__ import annotations
@@ -71,6 +93,29 @@ def iter_expanded_chunks(
     Only the current chunk and the buffered tails of admitted flows are
     in memory at any time; with ``chunk_packets=None`` everything is
     admitted at once (materialised mode).
+
+    Parameters
+    ----------
+    trace:
+        The flow-level trace to expand.
+    rng:
+        Generator for the packet placements; consumed in flow
+        start-time order, so the draw sequence — and therefore the
+        packet stream — is identical for every chunk size.
+    chunk_packets:
+        Approximate packets per emitted chunk; ``None`` materialises
+        the whole trace as one chunk.
+    clip_to_duration:
+        When given, packets at or beyond this time are dropped (flow
+        tails that spill past the measurement window).
+    packet_size_bytes:
+        Constant per-packet size recorded in the emitted batches.
+
+    Yields
+    ------
+    PacketBatch
+        Time-sorted packet chunks whose concatenation is the global
+        time-sorted stream.
     """
     num_flows = trace.num_flows
     if num_flows == 0:
@@ -207,6 +252,12 @@ def run_stream(
         Measurement interval length in seconds.
     top_t:
         Number of top flows to rank/detect.
+
+    Returns
+    -------
+    StreamOutcome
+        Per-bin swapped-pair counts for every stream, plus the shared
+        bin start times, flows-per-bin average and packet total.
     """
     if bin_duration <= 0:
         raise ValueError("bin_duration must be positive")
@@ -307,7 +358,25 @@ def metric_series_for_stream(
     sampling_rate: float,
     stream_slice: slice,
 ) -> MetricSeries:
-    """Package one sampler's runs (a slice of streams) as a MetricSeries."""
+    """Package one sampler's runs (a slice of streams) as a MetricSeries.
+
+    Parameters
+    ----------
+    outcome:
+        The raw stream outcome produced by :func:`run_stream`.
+    problem:
+        ``"ranking"`` or ``"detection"``.
+    sampling_rate:
+        Effective sampling rate recorded on the series.
+    stream_slice:
+        The contiguous range of stream indices holding this sampler's
+        independent runs.
+
+    Returns
+    -------
+    MetricSeries
+        The per-bin values of those runs, in run order.
+    """
     values = (
         outcome.ranking_values if problem == "ranking" else outcome.detection_values
     )[stream_slice]

@@ -1,0 +1,356 @@
+"""Parallel execution of the independent cells of a pipeline.
+
+Every trace-driven experiment in this repository is an embarrassingly
+parallel sweep: the (sampler spec, run) streams evaluated by
+:func:`repro.pipeline.executor.run_stream` never interact.  This module
+turns that structure into an explicit :class:`ExecutionPlan` — one
+:class:`Cell` per independent stream, each carrying its own
+``SeedSequence`` child — and dispatches contiguous *batches* of cells
+through a pluggable backend:
+
+* ``"serial"`` — all cells in one batch, in process (the reference
+  path: one expansion, one pass over the stream);
+* ``"process"`` — one batch per worker via
+  :class:`concurrent.futures.ProcessPoolExecutor`; each worker replays
+  the *same* packet expansion (drawn from the same entropy, so it is
+  bit-identical everywhere) and evaluates only its cells;
+* ``"auto"`` — picks ``"process"`` when the workload is large enough to
+  amortise process start-up (and the plan is picklable), ``"serial"``
+  otherwise.
+
+Because every cell's sampler generator is derived from the cell's own
+``SeedSequence`` child and the expansion entropy is shared, the merged
+:class:`~repro.pipeline.executor.StreamOutcome` is **bit-identical**
+across backends for the same seed; merging orders rows by cell index,
+never by completion order.  The test suite asserts this equality.
+
+>>> from repro.pipeline import Pipeline
+>>> result = (
+...     Pipeline()
+...     .with_trace("sprint", scale=0.001, duration=120.0)
+...     .with_sampler("bernoulli", rate=0.5)
+...     .with_runs(2)
+...     .with_seed(0)
+...     .run(parallel="serial")
+... )
+>>> result.num_runs
+2
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..traces.flow_trace import FlowLevelTrace
+from .executor import StreamOutcome, iter_expanded_chunks, run_stream
+
+#: Backend names accepted by :meth:`ExecutionPlan.execute`.
+BACKENDS = ("auto", "serial", "process")
+
+#: Minimum workload (total packets x cells, i.e. per-packet sampling
+#: decisions) below which ``"auto"`` stays serial: under this size the
+#: cost of forking workers and re-expanding the trace in each of them
+#: exceeds what parallelism can win back.
+AUTO_PROCESS_MIN_WORK = 8_000_000
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of pipeline work: a (sampler spec, run) pair.
+
+    Attributes
+    ----------
+    stream_index:
+        Global position of this cell's stream, ``spec_index * num_runs
+        + run_index``; merge order is defined by this index.
+    spec_index:
+        Index into the plan's sampler specs.
+    run_index:
+        Independent sampling realisation number within the spec.
+    seed:
+        The ``SeedSequence`` child that (alone) seeds this cell's
+        sampler, making the cell relocatable to any worker.
+    """
+
+    stream_index: int
+    spec_index: int
+    run_index: int
+    seed: np.random.SeedSequence
+
+
+@dataclass
+class ExecutionPlan:
+    """The independent cells of one pipeline run, ready to dispatch.
+
+    An :class:`ExecutionPlan` is a fully resolved description of the
+    work: the flow-level trace, the flow-group mapping, the expansion
+    entropy, and one :class:`Cell` per (sampler spec, run) stream.  It
+    is built by :meth:`repro.pipeline.Pipeline.plan` and consumed by
+    :meth:`execute`; it is also the natural unit to inspect when
+    reasoning about scaling (``plan.num_cells``, ``plan.packet_work``).
+
+    Attributes
+    ----------
+    trace:
+        The resolved flow-level trace (shared by every cell).
+    groups:
+        Flow id to flow-group mapping under the chosen flow definition.
+    expand_entropy:
+        Source of the packet-placement draws: a ``SeedSequence`` child
+        of the pipeline seed, or a caller-supplied generator/seed (see
+        :meth:`repro.pipeline.Pipeline.with_packet_rng`).  Every batch
+        derives a *fresh* generator from it, so the expansion is
+        bit-identical in every worker.
+    sampler_specs:
+        The pipeline's sampler specs, indexed by ``Cell.spec_index``.
+    cells:
+        One cell per independent stream, in stream order.
+    bin_duration, top_t, chunk_packets, clip_to_duration:
+        Evaluation parameters, as in :func:`run_stream` and
+        :func:`iter_expanded_chunks`.
+    """
+
+    trace: FlowLevelTrace
+    groups: np.ndarray
+    expand_entropy: np.random.SeedSequence | np.random.Generator | int
+    sampler_specs: list
+    cells: list[Cell]
+    bin_duration: float
+    top_t: int
+    chunk_packets: int | None
+    clip_to_duration: float | None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Number of independent (sampler spec, run) streams."""
+        return len(self.cells)
+
+    @property
+    def packet_work(self) -> int:
+        """Total per-packet sampling decisions: packets x cells.
+
+        The quantity the ``"auto"`` backend compares against
+        :data:`AUTO_PROCESS_MIN_WORK`.
+        """
+        return int(self.trace.total_packets) * self.num_cells
+
+    def batches(self, count: int) -> list[list[int]]:
+        """Split the cell indices into ``count`` contiguous batches.
+
+        Parameters
+        ----------
+        count:
+            Desired number of batches; capped at the number of cells.
+
+        Returns
+        -------
+        list[list[int]]
+            Non-empty, contiguous, in-order index batches.  Contiguity
+            keeps each worker's cells adjacent in stream order, and the
+            near-equal sizes balance the duplicated expansion cost.
+        """
+        count = max(1, min(int(count), self.num_cells))
+        bounds = np.linspace(0, self.num_cells, count + 1).astype(int)
+        return [list(range(lo, hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
+
+    def is_picklable(self) -> bool:
+        """Whether the plan can be shipped to worker processes.
+
+        Sampler specs holding locally defined factories or instances
+        cannot be pickled; the ``"auto"`` backend silently falls back to
+        serial for them, the ``"process"`` backend raises.
+        """
+        try:
+            pickle.dumps((self.sampler_specs, self.expand_entropy))
+        except Exception:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def resolve_backend(self, backend: str = "auto", jobs: int | None = None) -> tuple[str, int]:
+        """Normalise (backend, jobs) into a concrete dispatch decision.
+
+        Parameters
+        ----------
+        backend:
+            One of :data:`BACKENDS`.  ``"auto"`` chooses ``"process"``
+            when an explicit ``jobs > 1`` was requested, or when the
+            machine has more than one CPU and :attr:`packet_work`
+            reaches :data:`AUTO_PROCESS_MIN_WORK`.
+        jobs:
+            Worker count; ``None`` means one per CPU.  Always capped at
+            the number of cells.
+
+        Returns
+        -------
+        tuple[str, int]
+            The chosen backend (``"serial"`` or ``"process"``) and the
+            resolved worker count.
+        """
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        resolved_jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        if resolved_jobs < 1:
+            raise ValueError(f"jobs must be at least 1, got {jobs}")
+        resolved_jobs = min(int(resolved_jobs), self.num_cells)
+        if backend == "auto":
+            if jobs is not None:
+                backend = "process" if resolved_jobs > 1 else "serial"
+            elif resolved_jobs > 1 and self.packet_work >= AUTO_PROCESS_MIN_WORK:
+                backend = "process"
+            else:
+                backend = "serial"
+        if backend == "serial":
+            resolved_jobs = 1
+        return backend, resolved_jobs
+
+    def execute(self, backend: str = "auto", jobs: int | None = None) -> StreamOutcome:
+        """Run every cell and merge the outcomes deterministically.
+
+        Parameters
+        ----------
+        backend:
+            ``"serial"``, ``"process"`` or ``"auto"`` (the default).
+        jobs:
+            Worker processes for the process backend; ``None`` means one
+            per CPU.
+
+        Returns
+        -------
+        StreamOutcome
+            Per-bin metric rows for every stream, ordered by cell index
+            — bit-identical across backends for the same plan.
+        """
+        choice, resolved_jobs = self.resolve_backend(backend, jobs)
+        if choice == "process" and not self.is_picklable():
+            if backend == "process":
+                raise ValueError(
+                    "the pipeline uses sampler factories or instances that cannot be "
+                    "pickled to worker processes; run with parallel='serial' instead"
+                )
+            choice = "serial"  # auto mode degrades gracefully
+        if choice == "serial":
+            parts = [_run_cell_batch(self, list(range(self.num_cells)))]
+        else:
+            batches = self.batches(resolved_jobs)
+            with ProcessPoolExecutor(max_workers=len(batches)) as pool:
+                futures = [pool.submit(_run_cell_batch, self, batch) for batch in batches]
+                parts = [future.result() for future in futures]
+        return merge_outcomes(parts, self.num_cells)
+
+    # ------------------------------------------------------------------
+    def _expand_rng(self) -> np.random.Generator:
+        """A fresh, identical packet-placement generator for one batch."""
+        if isinstance(self.expand_entropy, np.random.Generator):
+            return copy.deepcopy(self.expand_entropy)
+        return np.random.default_rng(self.expand_entropy)
+
+
+def _run_cell_batch(
+    plan: ExecutionPlan, cell_indices: list[int]
+) -> tuple[list[int], StreamOutcome]:
+    """Evaluate one batch of cells against a freshly replayed expansion.
+
+    This is the worker entry point of the process backend (and, with a
+    single batch of all cells, the whole serial backend).  The expansion
+    generator is re-derived from the plan's entropy, so every batch sees
+    the same packet stream; each cell's sampler comes from the cell's
+    own seed, so the rows it produces do not depend on which batch (or
+    process) evaluated it.
+
+    Parameters
+    ----------
+    plan:
+        The execution plan (pickled to the worker by the pool).
+    cell_indices:
+        Indices into ``plan.cells`` to evaluate here.
+
+    Returns
+    -------
+    tuple[list[int], StreamOutcome]
+        The global stream indices of the batch and their outcome rows.
+    """
+    cells = [plan.cells[index] for index in cell_indices]
+    samplers = [
+        plan.sampler_specs[cell.spec_index].build(np.random.default_rng(cell.seed))
+        for cell in cells
+    ]
+    chunks = iter_expanded_chunks(
+        plan.trace,
+        plan._expand_rng(),
+        chunk_packets=plan.chunk_packets,
+        clip_to_duration=plan.clip_to_duration,
+    )
+    outcome = run_stream(chunks, plan.groups, samplers, plan.bin_duration, plan.top_t)
+    return [cell.stream_index for cell in cells], outcome
+
+
+def merge_outcomes(
+    parts: list[tuple[list[int], StreamOutcome]], num_streams: int
+) -> StreamOutcome:
+    """Fold per-batch outcomes into one, ordered by stream index.
+
+    Parameters
+    ----------
+    parts:
+        ``(stream indices, outcome)`` pairs as returned by the batch
+        runner; together they must cover every stream exactly once.
+    num_streams:
+        Total number of streams across all parts.
+
+    Returns
+    -------
+    StreamOutcome
+        One outcome whose metric rows sit at their stream index,
+        regardless of batch completion order.  The shared fields
+        (bin start times, flows per bin, total packets) are checked for
+        equality across batches — a mismatch would mean the replayed
+        expansions diverged, which breaks the determinism contract.
+    """
+    if not parts:
+        raise ValueError("no outcomes to merge")
+    _, reference = parts[0]
+    num_bins = reference.bin_start_times.size
+    ranking = np.empty((num_streams, num_bins), dtype=float)
+    detection = np.empty((num_streams, num_bins), dtype=float)
+    seen = np.zeros(num_streams, dtype=bool)
+    for indices, outcome in parts:
+        if not np.array_equal(outcome.bin_start_times, reference.bin_start_times) or (
+            outcome.total_packets != reference.total_packets
+        ):
+            raise RuntimeError(
+                "parallel batches disagree on the packet stream; the expansion "
+                "entropy was not replayed identically across workers"
+            )
+        rows = np.asarray(indices, dtype=int)
+        if seen[rows].any():
+            raise ValueError("a stream index appears in more than one batch")
+        seen[rows] = True
+        ranking[rows] = outcome.ranking_values
+        detection[rows] = outcome.detection_values
+    if not seen.all():
+        missing = np.flatnonzero(~seen).tolist()
+        raise ValueError(f"streams {missing} were not evaluated by any batch")
+    return StreamOutcome(
+        bin_start_times=reference.bin_start_times,
+        flows_per_bin=reference.flows_per_bin,
+        total_packets=reference.total_packets,
+        ranking_values=ranking,
+        detection_values=detection,
+    )
+
+
+__all__ = [
+    "AUTO_PROCESS_MIN_WORK",
+    "BACKENDS",
+    "Cell",
+    "ExecutionPlan",
+    "merge_outcomes",
+]

@@ -33,6 +33,12 @@ Execution streams the packet expansion chunk by chunk (see
 bounded memory; ``.materialised()`` opts back into single-chunk
 execution, which is guaranteed to produce *identical* results for the
 same seed.
+
+The independent (sampler, run) cells of a pipeline can be fanned out
+across worker processes with ``.run(parallel="process", jobs=4)`` (or
+``parallel="auto"``, the default, which decides by workload size); the
+parallel path is bit-identical to the serial one for the same seed —
+see :mod:`repro.pipeline.parallel`.
 """
 
 from __future__ import annotations
@@ -48,12 +54,8 @@ from ..registry import KEY_POLICIES, SAMPLERS, TRACES, accepts_rng, parse_spec
 from ..sampling.base import PacketSampler
 from ..traces.flow_trace import FlowLevelTrace
 from ..traces.synthetic import SyntheticTraceGenerator
-from .executor import (
-    DEFAULT_CHUNK_PACKETS,
-    iter_expanded_chunks,
-    metric_series_for_stream,
-    run_stream,
-)
+from .executor import DEFAULT_CHUNK_PACKETS, metric_series_for_stream
+from .parallel import Cell, ExecutionPlan
 from .result import PipelineResult, SamplerSummary
 
 
@@ -119,7 +121,21 @@ class Pipeline:
         trace: FlowLevelTrace | SyntheticTraceGenerator | str,
         **kwargs,
     ) -> "Pipeline":
-        """Set the trace source: a trace object, a generator, or a registry name."""
+        """Set the trace source: a trace object, a generator, or a registry name.
+
+        Parameters
+        ----------
+        trace:
+            A concrete :class:`FlowLevelTrace`, a synthetic generator,
+            or a registry spec such as ``"sprint:scale=0.01"``.
+        **kwargs:
+            Extra generator arguments; only valid with a registry name.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         self._trace = self._generator = self._trace_name = None
         self._trace_kwargs = {}
         if isinstance(trace, FlowLevelTrace):
@@ -143,7 +159,26 @@ class Pipeline:
         label: str | None = None,
         **kwargs,
     ) -> "Pipeline":
-        """Add one sampler to evaluate: registry name (with kwargs), factory, or instance."""
+        """Add one sampler to evaluate: registry name (with kwargs), factory, or instance.
+
+        Parameters
+        ----------
+        sampler:
+            A registry spec (``"bernoulli:rate=0.01"``), a factory
+            callable returning a :class:`PacketSampler` (given ``rng``
+            when it accepts one), or a prototype instance cloned per
+            run via :meth:`PacketSampler.spawn`.
+        label:
+            Series label in the result; defaults to the built sampler's
+            ``name`` (its canonical spec for built-in samplers).
+        **kwargs:
+            Extra constructor arguments; only valid with a name/factory.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         if isinstance(sampler, str):
             name, spec_kwargs = parse_spec(sampler)
             self._samplers.append(
@@ -160,13 +195,38 @@ class Pipeline:
         return self
 
     def with_sampling_rates(self, rates: tuple[float, ...] | list[float]) -> "Pipeline":
-        """Convenience: one Bernoulli sampler per rate (the paper's sweep)."""
+        """Convenience: one Bernoulli sampler per rate (the paper's sweep).
+
+        Parameters
+        ----------
+        rates:
+            Packet sampling probabilities, one sampler each.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         for rate in rates:
             self.with_sampler("bernoulli", rate=float(rate))
         return self
 
     def with_key_policy(self, policy: FlowKeyPolicy | str, **kwargs) -> "Pipeline":
-        """Set the flow definition: a policy object or a registry name."""
+        """Set the flow definition: a policy object or a registry name.
+
+        Parameters
+        ----------
+        policy:
+            A :class:`FlowKeyPolicy` instance or a registry spec such
+            as ``"prefix:prefix_length=24"``.
+        **kwargs:
+            Extra policy arguments; only valid with a registry name.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         if isinstance(policy, str):
             name, spec_kwargs = parse_spec(policy)
             self._key_policy = None
@@ -179,27 +239,85 @@ class Pipeline:
         return self
 
     def with_bin_duration(self, seconds: float) -> "Pipeline":
-        """Set the measurement interval length."""
+        """Set the measurement interval length.
+
+        Parameters
+        ----------
+        seconds:
+            Bin duration in seconds (must be positive).
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         self._bin_duration = float(seconds)
         return self
 
     def with_top(self, top_t: int) -> "Pipeline":
-        """Set the number of top flows to rank/detect."""
+        """Set the number of top flows to rank/detect.
+
+        Parameters
+        ----------
+        top_t:
+            The ``t`` of the paper's top-*t* problems (at least 1).
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         self._top_t = int(top_t)
         return self
 
     def with_runs(self, num_runs: int) -> "Pipeline":
-        """Set the number of independent sampling realisations per sampler."""
+        """Set the number of independent sampling realisations per sampler.
+
+        Parameters
+        ----------
+        num_runs:
+            Runs per sampler; each run gets its own seed child and is an
+            independently dispatchable cell of the execution plan.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         self._num_runs = int(num_runs)
         return self
 
     def with_seed(self, seed: int | None) -> "Pipeline":
-        """Seed the whole pipeline (trace synthesis, expansion, sampling)."""
+        """Seed the whole pipeline (trace synthesis, expansion, sampling).
+
+        Parameters
+        ----------
+        seed:
+            Root of the ``SeedSequence`` tree; ``None`` draws fresh
+            entropy (non-reproducible).
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         self._seed = seed
         return self
 
     def with_problems(self, *, ranking: bool = True, detection: bool = True) -> "Pipeline":
-        """Choose which problems to report (both by default)."""
+        """Choose which problems to report (both by default).
+
+        Parameters
+        ----------
+        ranking, detection:
+            Whether to produce the respective series; at least one must
+            remain enabled.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         if not (ranking or detection):
             raise ValueError("at least one of ranking/detection must be evaluated")
         self._evaluate_ranking = bool(ranking)
@@ -207,14 +325,32 @@ class Pipeline:
         return self
 
     def streaming(self, chunk_packets: int = DEFAULT_CHUNK_PACKETS) -> "Pipeline":
-        """Stream the expansion in chunks of roughly ``chunk_packets`` packets."""
+        """Stream the expansion in chunks of roughly ``chunk_packets`` packets.
+
+        Parameters
+        ----------
+        chunk_packets:
+            Target packets per chunk (peak memory scales with this, the
+            results do not).
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         if chunk_packets < 1:
             raise ValueError("chunk_packets must be positive")
         self._chunk_packets = int(chunk_packets)
         return self
 
     def materialised(self) -> "Pipeline":
-        """Expand the whole packet trace at once (legacy behaviour)."""
+        """Expand the whole packet trace at once (legacy behaviour).
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
         self._chunk_packets = None
         return self
 
@@ -246,9 +382,23 @@ class Pipeline:
     ) -> "Pipeline":
         """Build a pipeline entirely from string specs.
 
-        ``trace``/``sampler``/``key`` accept ``name:key=value,...``
-        strings resolved through :mod:`repro.registry`; ``sampler`` may
-        be a list of specs to evaluate several samplers in one pass.
+        Parameters
+        ----------
+        trace, sampler, key:
+            ``name:key=value,...`` strings resolved through
+            :mod:`repro.registry` (objects are also accepted);
+            ``sampler`` may be a list of specs to evaluate several
+            samplers in one pass.
+        bin_duration, top_t, num_runs, seed:
+            As the corresponding ``with_*`` builder methods.
+        streaming, chunk_packets:
+            Chunked streaming execution (the default) and its chunk
+            size; ``streaming=False`` materialises the expansion.
+
+        Returns
+        -------
+        Pipeline
+            A configured pipeline; call :meth:`run` on it.
         """
         pipeline = (
             cls()
@@ -296,44 +446,93 @@ class Pipeline:
             return self._key_policy
         return KEY_POLICIES.create(self._key_name, **self._key_kwargs)
 
-    def run(self) -> PipelineResult:
-        """Execute the pipeline and return a :class:`PipelineResult`."""
+    def plan(self) -> ExecutionPlan:
+        """Resolve the pipeline into an :class:`ExecutionPlan` of cells.
+
+        The plan enumerates one :class:`~repro.pipeline.parallel.Cell`
+        per independent (sampler spec, run) stream, each with its own
+        ``SeedSequence`` child, over the resolved trace and flow-group
+        mapping.  :meth:`run` is ``plan().execute()`` plus result
+        packaging; call this directly to inspect or dispatch the cells
+        yourself.
+
+        Returns
+        -------
+        ExecutionPlan
+            A fully resolved, backend-agnostic description of the work.
+        """
         self._validate()
         seed_sequence = np.random.SeedSequence(self._seed)
         num_specs = len(self._samplers)
         children = seed_sequence.spawn(2 + num_specs * self._num_runs)
         trace_rng = np.random.default_rng(children[0])
         if self._packet_rng is not None:
-            expand_rng = (
+            expand_entropy = (
                 copy.deepcopy(self._packet_rng)
                 if isinstance(self._packet_rng, np.random.Generator)
-                else np.random.default_rng(self._packet_rng)
+                else int(self._packet_rng)
             )
         else:
-            expand_rng = np.random.default_rng(children[1])
+            expand_entropy = children[1]
 
         trace = self._resolve_trace(trace_rng)
-        key_policy = self._resolve_key_policy()
-        groups = trace.group_ids(key_policy)
+        groups = trace.group_ids(self._resolve_key_policy())
 
-        stream_samplers: list[PacketSampler] = []
-        for spec_index, spec in enumerate(self._samplers):
+        cells: list[Cell] = []
+        for spec_index in range(num_specs):
             for run in range(self._num_runs):
-                child = children[2 + spec_index * self._num_runs + run]
-                stream_samplers.append(spec.build(np.random.default_rng(child)))
-
-        chunks = iter_expanded_chunks(
-            trace,
-            expand_rng,
+                stream = spec_index * self._num_runs + run
+                cells.append(
+                    Cell(
+                        stream_index=stream,
+                        spec_index=spec_index,
+                        run_index=run,
+                        seed=children[2 + stream],
+                    )
+                )
+        return ExecutionPlan(
+            trace=trace,
+            groups=groups,
+            expand_entropy=expand_entropy,
+            sampler_specs=list(self._samplers),
+            cells=cells,
+            bin_duration=self._bin_duration,
+            top_t=self._top_t,
             chunk_packets=self._chunk_packets,
             clip_to_duration=trace.duration if trace.duration > 0 else None,
         )
-        outcome = run_stream(
-            chunks, groups, stream_samplers, self._bin_duration, self._top_t
-        )
+
+    def run(
+        self,
+        parallel: str | bool | int | None = "auto",
+        jobs: int | None = None,
+    ) -> PipelineResult:
+        """Execute the pipeline and return a :class:`PipelineResult`.
+
+        Parameters
+        ----------
+        parallel:
+            Execution backend: ``"auto"`` (default) fans the independent
+            (sampler, run) cells out across processes when the workload
+            is large enough, ``"serial"``/``False`` forces in-process
+            execution, ``"process"``/``True`` forces the process pool.
+            An integer is shorthand for ``jobs`` with auto dispatch.
+        jobs:
+            Worker processes for the process backend; ``None`` means one
+            per CPU.
+
+        Returns
+        -------
+        PipelineResult
+            Per-sampler ranking/detection series.  Bit-identical for
+            the same seed whatever ``parallel`` and ``jobs`` are.
+        """
+        backend, jobs = _normalise_parallel(parallel, jobs)
+        plan = self.plan()
+        outcome = plan.execute(backend=backend, jobs=jobs)
 
         result = PipelineResult(
-            flow_definition=key_policy.name,
+            flow_definition=self._resolve_key_policy().name,
             bin_duration=self._bin_duration,
             top_t=self._top_t,
             num_runs=self._num_runs,
@@ -343,7 +542,10 @@ class Pipeline:
         )
         used_labels: set[str] = set()
         for spec_index, spec in enumerate(self._samplers):
-            first = stream_samplers[spec_index * self._num_runs]
+            # Rebuild the first run's sampler for its label and rate; the
+            # cell seed makes it identical to the one the backend used.
+            first_cell = plan.cells[spec_index * self._num_runs]
+            first = spec.build(np.random.default_rng(first_cell.seed))
             label = spec.label or first.name
             if label in used_labels:
                 suffix = 2
@@ -366,6 +568,41 @@ class Pipeline:
                     outcome, "detection", first.effective_rate, stream_slice
                 )
         return result
+
+
+def _normalise_parallel(
+    parallel: str | bool | int | None, jobs: int | None
+) -> tuple[str, int | None]:
+    """Map the ``run(parallel=..., jobs=...)`` surface onto (backend, jobs).
+
+    Parameters
+    ----------
+    parallel:
+        ``"auto"``/``None``, ``"serial"``/``False``, ``"process"``/
+        ``True``, or an integer worker count (shorthand for ``jobs``).
+    jobs:
+        Explicit worker count; conflicts with an integer ``parallel``.
+
+    Returns
+    -------
+    tuple[str, int | None]
+        Backend name for :meth:`ExecutionPlan.execute` and the worker
+        count (``None`` when unspecified).
+    """
+    if isinstance(parallel, bool):
+        return ("process" if parallel else "serial"), jobs
+    if parallel is None:
+        return "auto", jobs
+    if isinstance(parallel, int):
+        if jobs is not None and jobs != parallel:
+            raise ValueError(f"conflicting worker counts: parallel={parallel}, jobs={jobs}")
+        return "auto", int(parallel)
+    if parallel in ("auto", "serial", "process"):
+        return parallel, jobs
+    raise ValueError(
+        f"cannot interpret parallel={parallel!r}; expected 'auto', 'serial', "
+        "'process', a bool, or a worker count"
+    )
 
 
 __all__ = ["Pipeline", "SamplerSpec"]

@@ -78,7 +78,21 @@ class PipelineResult:
         return sorted({summary.effective_rate for summary in self.samplers})
 
     def series(self, problem: str, key: str | float) -> MetricSeries:
-        """Fetch one series by sampler label or by effective sampling rate."""
+        """Fetch one series by sampler label or by effective sampling rate.
+
+        Parameters
+        ----------
+        problem:
+            ``"ranking"`` or ``"detection"``.
+        key:
+            A sampler label (exact string) or an effective sampling
+            rate (matched within 1e-12).
+
+        Returns
+        -------
+        MetricSeries
+            The per-bin values of that sampler's runs.
+        """
         if problem not in ("ranking", "detection"):
             raise KeyError(f"unknown problem {problem!r}; expected 'ranking' or 'detection'")
         store = self.ranking if problem == "ranking" else self.detection
@@ -95,7 +109,14 @@ class PipelineResult:
 
     # ------------------------------------------------------------------
     def summary_rows(self) -> list[dict[str, float | str]]:
-        """Flat rows (one per problem and sampler) for reports and CSV export."""
+        """Flat rows (one per problem and sampler) for reports and CSV export.
+
+        Returns
+        -------
+        list[dict]
+            One row per (problem, sampler) with the run parameters, the
+            overall mean swapped pairs and the acceptable-bin fraction.
+        """
         rows: list[dict[str, float | str]] = []
         for problem, store in (("ranking", self.ranking), ("detection", self.detection)):
             for summary in self.samplers:
@@ -117,7 +138,16 @@ class PipelineResult:
         return rows
 
     def to_dict(self) -> dict:
-        """Plain-python export (JSON-friendly) of the full result."""
+        """Plain-python export (JSON-friendly) of the full result.
+
+        Returns
+        -------
+        dict
+            Every field of the result with series as nested lists; the
+            parallel-determinism tests compare this representation
+            across execution backends, so it must not depend on how the
+            result was computed.
+        """
         def _series_dict(series: MetricSeries) -> dict:
             return {
                 "sampling_rate": series.sampling_rate,
@@ -145,8 +175,15 @@ class PipelineResult:
     def to_csv(self, path: str | Path | None = None) -> str:
         """Per-bin CSV export (one row per problem, sampler and bin).
 
-        Returns the CSV text; when ``path`` is given the text is also
-        written to that file.
+        Parameters
+        ----------
+        path:
+            Optional file to write the CSV to.
+
+        Returns
+        -------
+        str
+            The CSV text (also written to ``path`` when given).
         """
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
@@ -179,6 +216,11 @@ class PipelineResult:
 
         When several samplers share an effective rate the last one wins,
         matching the legacy container's one-series-per-rate shape.
+
+        Returns
+        -------
+        SimulationResult
+            The same series keyed by effective sampling rate.
         """
         result = SimulationResult(
             flow_definition=self.flow_definition,

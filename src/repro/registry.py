@@ -18,6 +18,17 @@ CLI flag) and parsed with :func:`parse_spec`:
 >>> parse_spec("bernoulli:rate=0.01")
 ('bernoulli', {'rate': 0.01})
 
+Spec round-tripping is exact: samplers echo their canonical spec in
+their ``spec`` attribute (which is also their report ``name``), so the
+labels printed by ``repro run`` can be pasted straight back into a
+``--sampler`` flag and rebuild the same component:
+
+>>> sampler.spec
+'bernoulli:rate=0.01'
+>>> name, kwargs = parse_spec(sampler.spec)
+>>> SAMPLERS.create(name, **kwargs).spec == sampler.spec
+True
+
 The built-in registries are populated at import time; third-party code
 can add components with :meth:`Registry.register`, either called
 directly or used as a decorator.
@@ -25,7 +36,6 @@ directly or used as a decorator.
 
 from __future__ import annotations
 
-import ast
 import inspect
 from collections.abc import Callable, Iterator
 
@@ -38,7 +48,9 @@ from .distributions.weibull import WeibullFlowSizes
 from .flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
 from .sampling.bernoulli import BernoulliSampler
 from .sampling.periodic import PeriodicSampler
+from .sampling.sample_and_hold import SampleAndHoldSampler
 from .sampling.stratified import HashFlowSampler
+from .spec import format_spec, parse_spec
 from .traces.synthetic import SyntheticTraceGenerator, abilene_like_config, sprint_like_config
 
 
@@ -131,6 +143,17 @@ class Registry:
         """Canonical registered names, sorted."""
         return tuple(sorted(self._factories))
 
+    def aliases(self) -> dict[str, str]:
+        """Mapping of alias to canonical name (a copy).
+
+        Returns
+        -------
+        dict[str, str]
+            Every registered alias and the name it resolves to; used by
+            the documentation cross-checks.
+        """
+        return dict(self._aliases)
+
     def accepts_rng(self, name: str) -> bool:
         """Whether the factory takes an ``rng`` keyword (per-run randomisation)."""
         return accepts_rng(self.get(name))
@@ -154,64 +177,6 @@ def accepts_rng(factory: Callable) -> bool:
     return "rng" in parameters or any(
         p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
     )
-
-
-# ----------------------------------------------------------------------
-# Component spec strings ("name:key=value,key=value")
-# ----------------------------------------------------------------------
-def _parse_value(text: str):
-    """Parse a spec value: Python literal when possible, else the raw string."""
-    try:
-        return ast.literal_eval(text)
-    except (ValueError, SyntaxError):
-        return text
-
-
-def _split_arguments(text: str) -> list[str]:
-    """Split on commas at bracket depth zero, so tuple/list values survive."""
-    items: list[str] = []
-    depth = 0
-    start = 0
-    for position, char in enumerate(text):
-        if char in "([{":
-            depth += 1
-        elif char in ")]}":
-            depth -= 1
-        elif char == "," and depth == 0:
-            items.append(text[start:position])
-            start = position + 1
-    items.append(text[start:])
-    return items
-
-
-def parse_spec(spec: str) -> tuple[str, dict[str, object]]:
-    """Split a ``name:key=value,key=value`` spec into name and kwargs.
-
-    Values are parsed as Python literals when possible (numbers, bools,
-    tuples) and kept as strings otherwise; commas inside brackets do not
-    split arguments.
-
-    >>> parse_spec("periodic:rate=0.1,phase=3")
-    ('periodic', {'rate': 0.1, 'phase': 3})
-    >>> parse_spec("custom:rates=(0.1,0.5)")
-    ('custom', {'rates': (0.1, 0.5)})
-    >>> parse_spec("five-tuple")
-    ('five-tuple', {})
-    """
-    name, _, arg_text = spec.partition(":")
-    name = name.strip()
-    if not name:
-        raise ValueError(f"component spec {spec!r} has no name")
-    kwargs: dict[str, object] = {}
-    if arg_text.strip():
-        for item in _split_arguments(arg_text):
-            key, sep, value = item.partition("=")
-            if not sep or not key.strip():
-                raise ValueError(
-                    f"malformed argument {item!r} in spec {spec!r}; expected key=value"
-                )
-            kwargs[key.strip()] = _parse_value(value.strip())
-    return name, kwargs
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +231,14 @@ def _make_flow_hash(
     if seed is None:
         seed = _seed_from(rng) or 0
     return HashFlowSampler(rate, seed=int(seed))
+
+
+@SAMPLERS.register("sample-and-hold", aliases=("hold",))
+def _make_sample_and_hold(
+    rate: float, rng: np.random.Generator | int | None = None
+) -> SampleAndHoldSampler:
+    """Sample-and-hold: admit a flow with probability ``rate``, then keep it all."""
+    return SampleAndHoldSampler(rate, rng=rng)
 
 
 @KEY_POLICIES.register("five-tuple", aliases=("5-tuple", "5tuple"))
@@ -323,6 +296,7 @@ __all__ = [
     "UnknownComponentError",
     "accepts_rng",
     "parse_spec",
+    "format_spec",
     "SAMPLERS",
     "KEY_POLICIES",
     "DISTRIBUTIONS",

@@ -3,7 +3,7 @@
 from .base import PacketSampler
 from .bernoulli import BernoulliSampler
 from .periodic import PeriodicSampler
-from .sample_and_hold import SampleAndHold
+from .sample_and_hold import SampleAndHold, SampleAndHoldSampler
 from .sketch import MultistageFilter
 from .smart import SampledFlowRecord, SmartFlowSampler
 from .stratified import HashFlowSampler
@@ -16,5 +16,6 @@ __all__ = [
     "SmartFlowSampler",
     "SampledFlowRecord",
     "SampleAndHold",
+    "SampleAndHoldSampler",
     "MultistageFilter",
 ]

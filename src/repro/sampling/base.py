@@ -27,8 +27,16 @@ from ..flows.packets import Packet, PacketBatch
 class PacketSampler(abc.ABC):
     """Decides which packets of a stream are kept."""
 
-    #: Human-readable name used in reports.
+    #: Human-readable name used in reports.  Built-in samplers set this
+    #: to their canonical registry spec (see :attr:`spec`), so the
+    #: labels printed by ``repro run`` are valid ``--sampler`` flags.
     name: str = "abstract"
+
+    #: Canonical ``name:key=value,...`` registry spec that rebuilds this
+    #: sampler (``None`` for samplers without a registry entry).  For
+    #: built-in samplers the round-trip ``spec -> sampler -> spec`` is
+    #: exact: ``SAMPLERS.create(*parse) .spec == spec``.
+    spec: str | None = None
 
     @abc.abstractmethod
     def sample_packet(self, packet: Packet) -> bool:
@@ -44,7 +52,18 @@ class PacketSampler(abc.ABC):
         """Long-run fraction of packets kept by the sampler."""
 
     def sample_batch(self, batch: PacketBatch) -> PacketBatch:
-        """Return a new batch containing only the sampled packets."""
+        """Return a new batch containing only the sampled packets.
+
+        Parameters
+        ----------
+        batch:
+            The packets to filter.
+
+        Returns
+        -------
+        PacketBatch
+            The kept packets, in their original order.
+        """
         return batch.select(self.sample_mask(batch))
 
     def reset(self) -> None:
@@ -59,6 +78,17 @@ class PacketSampler(abc.ABC):
         The clone starts from a clean :meth:`reset` state; when ``rng``
         is given, a randomised sampler's generator is replaced so that
         different runs draw independent decisions.
+
+        Parameters
+        ----------
+        rng:
+            Replacement generator for the clone's ``_rng`` attribute
+            (ignored by non-randomised samplers).
+
+        Returns
+        -------
+        PacketSampler
+            An independent, reset copy of this sampler.
         """
         clone = copy.deepcopy(self)
         clone.reset()

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..flows.packets import Packet, PacketBatch
+from ..spec import format_spec
 from .base import PacketSampler
 
 
@@ -32,17 +33,45 @@ class BernoulliSampler(PacketSampler):
             raise ValueError(f"rate must be in (0, 1], got {rate}")
         self.rate = float(rate)
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self.name = f"bernoulli(p={self.rate:g})"
+        self.spec = format_spec("bernoulli", {"rate": self.rate})
+        self.name = self.spec
 
     @property
     def effective_rate(self) -> float:
+        """Long-run fraction of packets kept; equals ``rate``."""
         return self.rate
 
     def sample_packet(self, packet: Packet) -> bool:
+        """One independent keep/drop decision (packet content is ignored).
+
+        Parameters
+        ----------
+        packet:
+            The packet under consideration (unused).
+
+        Returns
+        -------
+        bool
+            True when the packet is kept.
+        """
         del packet  # Decision is independent of packet content.
         return bool(self._rng.random() < self.rate)
 
     def sample_mask(self, batch: PacketBatch) -> np.ndarray:
+        """Independent keep/drop decisions for a whole batch.
+
+        Parameters
+        ----------
+        batch:
+            The packets to decide on, in stream order.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean keep-mask with one entry per packet; exactly one
+            uniform draw is consumed per packet, so the mask sequence is
+            invariant to how the stream is chunked.
+        """
         return self._rng.random(len(batch)) < self.rate
 
 

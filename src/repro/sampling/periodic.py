@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..flows.packets import Packet, PacketBatch
+from ..spec import format_spec
 from .base import PacketSampler
 
 
@@ -37,7 +38,11 @@ class PeriodicSampler(PacketSampler):
         self.period = int(period)
         self.phase = int(phase)
         self._counter = 0
-        self.name = f"periodic(1-in-{self.period})"
+        kwargs: dict[str, object] = {"period": self.period}
+        if self.phase:
+            kwargs["phase"] = self.phase
+        self.spec = format_spec("periodic", kwargs)
+        self.name = self.spec
 
     @classmethod
     def from_rate(cls, rate: float, phase: int = 0) -> "PeriodicSampler":
@@ -49,20 +54,50 @@ class PeriodicSampler(PacketSampler):
 
     @property
     def effective_rate(self) -> float:
+        """Long-run fraction of packets kept: ``1 / period``."""
         return 1.0 / self.period
 
     def sample_packet(self, packet: Packet) -> bool:
+        """Advance the period counter by one packet and report its decision.
+
+        Parameters
+        ----------
+        packet:
+            The packet under consideration (unused; only its position in
+            the stream matters).
+
+        Returns
+        -------
+        bool
+            True when the packet's stream index falls on the sampled
+            phase of the period.
+        """
         del packet
         keep = self._counter % self.period == self.phase
         self._counter += 1
         return bool(keep)
 
     def sample_mask(self, batch: PacketBatch) -> np.ndarray:
+        """Keep-mask for a batch, continuing the period across batches.
+
+        Parameters
+        ----------
+        batch:
+            The packets to decide on, in stream order.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean keep-mask with one entry per packet.  The internal
+            counter advances by the batch length, so concatenated
+            batches see exactly the 1-in-N pattern of the whole stream.
+        """
         indices = self._counter + np.arange(len(batch), dtype=np.int64)
         self._counter += len(batch)
         return (indices % self.period) == self.phase
 
     def reset(self) -> None:
+        """Rewind the period counter to the start of the stream."""
         self._counter = 0
 
 

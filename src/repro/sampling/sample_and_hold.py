@@ -20,7 +20,9 @@ from collections.abc import Iterable
 import numpy as np
 
 from ..flows.keys import FiveTupleKeyPolicy, FlowKeyPolicy
-from ..flows.packets import Packet
+from ..flows.packets import Packet, PacketBatch
+from ..spec import format_spec
+from .base import PacketSampler
 
 
 class SampleAndHold:
@@ -88,7 +90,13 @@ class SampleAndHold:
             self.observe(packet)
 
     def counts(self) -> dict[object, int]:
-        """Current per-flow packet counts (only counted-after-admission packets)."""
+        """Current per-flow packet counts (only counted-after-admission packets).
+
+        Returns
+        -------
+        dict
+            Flow key to counted packets, a snapshot of the table.
+        """
         return dict(self._counters)
 
     def estimated_sizes(self) -> dict[object, float]:
@@ -102,7 +110,18 @@ class SampleAndHold:
         return {key: count + correction for key, count in self._counters.items()}
 
     def top(self, count: int) -> list[tuple[object, float]]:
-        """The ``count`` largest tracked flows by estimated size."""
+        """The ``count`` largest tracked flows by estimated size.
+
+        Parameters
+        ----------
+        count:
+            Number of flows to return (at least 1).
+
+        Returns
+        -------
+        list[tuple[object, float]]
+            ``(key, estimated packets)`` pairs, largest first.
+        """
         if count < 1:
             raise ValueError(f"count must be at least 1, got {count}")
         estimates = self.estimated_sizes()
@@ -115,4 +134,134 @@ class SampleAndHold:
         self._evictions = 0
 
 
-__all__ = ["SampleAndHold"]
+class SampleAndHoldSampler(PacketSampler):
+    """Sample-and-hold as a streaming :class:`PacketSampler`.
+
+    Each packet of a flow that is not yet tracked is a *candidate* with
+    probability ``rate``; the first candidate admits the flow, and every
+    packet of an admitted flow from that point on is kept.  Unlike
+    :class:`SampleAndHold` (the bounded-memory heavy-hitter table) this
+    adapter plugs into the pipeline executor, so sample-and-hold can be
+    compared against plain packet sampling on the ranking/detection
+    metrics with ``repro run --sampler sample-and-hold:rate=0.01``.
+
+    The sampler is deliberately *stateful across chunks* (the tracked
+    flow set persists), which makes it the canonical stress test for the
+    executor's determinism guarantees: exactly one uniform draw is
+    consumed per packet in stream order, so the keep-mask sequence is
+    invariant to chunk size and to serial/process execution.
+
+    Parameters
+    ----------
+    rate:
+        Flow admission probability in ``(0, 1]``.
+    rng:
+        NumPy random generator (or seed) driving the admission draws.
+
+    Notes
+    -----
+    :attr:`effective_rate` reports the admission probability ``rate``;
+    the long-run fraction of packets *kept* is higher, because every
+    post-admission packet of a tracked flow is counted.  The vectorised
+    entry point identifies flows by the batch's integer flow ids, the
+    object-level entry point by the 5-tuple hash; do not mix the two on
+    one instance.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator | int | None = None) -> None:
+        if not 0.0 < rate <= 1.0:
+            raise ValueError(f"rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+        self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self._tracked: set[int] = set()
+        self.spec = format_spec("sample-and-hold", {"rate": self.rate})
+        self.name = self.spec
+
+    @property
+    def effective_rate(self) -> float:
+        """Flow admission probability (a lower bound on the packet keep rate)."""
+        return self.rate
+
+    @property
+    def tracked_flows(self) -> int:
+        """Number of flows currently held."""
+        return len(self._tracked)
+
+    def sample_packet(self, packet: Packet) -> bool:
+        """Process one packet: keep it when its flow is (or becomes) tracked.
+
+        Parameters
+        ----------
+        packet:
+            The packet under consideration; its 5-tuple hash identifies
+            the flow.
+
+        Returns
+        -------
+        bool
+            True when the flow was already tracked or is admitted by
+            this packet's draw.
+        """
+        draw = self._rng.random()  # Always one draw per packet (chunk invariance).
+        key = hash(packet.five_tuple)
+        if key in self._tracked:
+            return True
+        if draw < self.rate:
+            self._tracked.add(key)
+            return True
+        return False
+
+    def sample_mask(self, batch: PacketBatch) -> np.ndarray:
+        """Keep-mask for a batch, carrying the tracked-flow set across batches.
+
+        Parameters
+        ----------
+        batch:
+            The packets to decide on, in stream order.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean keep-mask equal, element for element, to feeding the
+            packets one at a time through :meth:`sample_packet` keyed by
+            flow id: packets of already-tracked flows are kept, and
+            within the batch every flow's first admission draw turns the
+            rest of that flow's packets on.
+        """
+        ids = np.asarray(batch.flow_ids, dtype=np.int64)
+        draws = self._rng.random(ids.size)
+        if self._tracked:
+            tracked = np.fromiter(self._tracked, dtype=np.int64, count=len(self._tracked))
+            keep = np.isin(ids, tracked)
+        else:
+            keep = np.zeros(ids.size, dtype=bool)
+        pending = np.flatnonzero(~keep)
+        if pending.size:
+            # Group the not-yet-tracked packets by flow; within each
+            # group, the first admission candidate (in stream order)
+            # admits the flow and keeps every later packet of the group.
+            order = np.argsort(ids[pending], kind="stable")
+            sorted_ids = ids[pending][order]
+            positions = pending[order]
+            candidates = draws[pending][order] < self.rate
+            segment_starts = np.concatenate(
+                ([0], np.flatnonzero(np.diff(sorted_ids)) + 1)
+            )
+            segment_lengths = np.diff(np.concatenate((segment_starts, [sorted_ids.size])))
+            sentinel = np.iinfo(np.int64).max
+            first_candidate = np.minimum.reduceat(
+                np.where(candidates, positions, sentinel), segment_starts
+            )
+            segment_of = np.repeat(np.arange(segment_starts.size), segment_lengths)
+            kept = positions >= first_candidate[segment_of]
+            keep[positions[kept]] = True
+            admitted = sorted_ids[segment_starts][first_candidate < sentinel]
+            self._tracked.update(int(flow) for flow in admitted)
+        return keep
+
+    def reset(self) -> None:
+        """Forget all tracked flows (start of a fresh stream)."""
+        self._tracked.clear()
+
+
+__all__ = ["SampleAndHold", "SampleAndHoldSampler"]

@@ -86,7 +86,19 @@ class MultistageFilter:
             self.observe(packet)
 
     def estimate(self, key: object) -> int:
-        """Estimated packet count of a flow (never underestimates)."""
+        """Estimated packet count of a flow (never underestimates).
+
+        Parameters
+        ----------
+        key:
+            Flow key under the sketch's key policy.
+
+        Returns
+        -------
+        int
+            The minimum of the flow's counters — an upper bound on the
+            true count that is exact for flows without collisions.
+        """
         rows = np.arange(self.depth)
         cols = self._indices(key)
         return int(self._counters[rows, cols].min())
@@ -97,6 +109,18 @@ class MultistageFilter:
         The sketch itself cannot enumerate keys; callers supply the
         candidate set (e.g. the keys seen by a parallel sampled flow
         table) and the sketch confirms or refutes them.
+
+        Parameters
+        ----------
+        candidate_keys:
+            Flow keys to test.
+        threshold:
+            Minimum estimated packet count (at least 1).
+
+        Returns
+        -------
+        list[tuple[object, int]]
+            ``(key, estimate)`` pairs in decreasing estimate order.
         """
         if threshold < 1:
             raise ValueError(f"threshold must be at least 1, got {threshold}")

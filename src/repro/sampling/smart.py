@@ -58,20 +58,50 @@ class SmartFlowSampler:
         self._rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
 
     def keep_probability(self, packets: float) -> float:
-        """Probability of keeping a record of the given size."""
+        """Probability of keeping a record of the given size.
+
+        Parameters
+        ----------
+        packets:
+            Flow size in packets (must be positive).
+
+        Returns
+        -------
+        float
+            ``min(1, packets / z)``.
+        """
         if packets <= 0:
             raise ValueError("packets must be positive")
         return min(1.0, packets / self.threshold_packets)
 
     def expected_kept_records(self, sizes: Sequence[float]) -> float:
-        """Expected number of records kept for a list of flow sizes."""
+        """Expected number of records kept for a list of flow sizes.
+
+        Parameters
+        ----------
+        sizes:
+            Flow sizes in packets.
+
+        Returns
+        -------
+        float
+            Sum of the per-record keep probabilities.
+        """
         return float(sum(self.keep_probability(size) for size in sizes))
 
     def sample_records(self, flows: Sequence[FlowSummary]) -> list[SampledFlowRecord]:
         """Apply smart sampling to a list of flow summaries.
 
-        Returns the kept records together with their unbiased size
-        estimates ``max(x, z)``.
+        Parameters
+        ----------
+        flows:
+            Complete flow records as exported by a collector.
+
+        Returns
+        -------
+        list[SampledFlowRecord]
+            The kept records together with their unbiased size
+            estimates ``max(x, z)``.
         """
         kept: list[SampledFlowRecord] = []
         for flow in flows:
@@ -86,7 +116,21 @@ class SmartFlowSampler:
         return kept
 
     def rank_top(self, flows: Sequence[FlowSummary], count: int) -> list[SampledFlowRecord]:
-        """Top ``count`` kept records ranked by estimated size."""
+        """Top ``count`` kept records ranked by estimated size.
+
+        Parameters
+        ----------
+        flows:
+            Complete flow records to sample and rank.
+        count:
+            Number of top records to return (at least 1).
+
+        Returns
+        -------
+        list[SampledFlowRecord]
+            Kept records in decreasing estimated-size order, ties broken
+            by byte count.
+        """
         if count < 1:
             raise ValueError(f"count must be at least 1, got {count}")
         kept = self.sample_records(flows)

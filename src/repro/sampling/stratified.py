@@ -16,6 +16,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..flows.packets import Packet, PacketBatch
+from ..spec import format_spec
 from .base import PacketSampler
 
 _HASH_MODULUS = np.uint64(2**61 - 1)
@@ -56,17 +57,48 @@ class HashFlowSampler(PacketSampler):
             raise ValueError(f"rate must be in (0, 1], got {rate}")
         self.rate = float(rate)
         self.seed = int(seed)
-        self.name = f"flow-hash(p={self.rate:g})"
+        kwargs: dict[str, object] = {"rate": self.rate}
+        if self.seed:
+            kwargs["seed"] = self.seed
+        self.spec = format_spec("flow-hash", kwargs)
+        self.name = self.spec
 
     @property
     def effective_rate(self) -> float:
+        """Expected fraction of flows (and, on average, packets) kept."""
         return self.rate
 
     def sample_packet(self, packet: Packet) -> bool:
+        """Keep/drop decision based on the packet's 5-tuple hash.
+
+        Parameters
+        ----------
+        packet:
+            The packet under consideration; only its 5-tuple matters.
+
+        Returns
+        -------
+        bool
+            True when the packet's flow hashes below the keep threshold.
+        """
         flow_hash = np.asarray([hash(packet.five_tuple) & 0x7FFFFFFFFFFFFFFF], dtype=np.int64)
         return bool(_hash_ids(flow_hash, self.seed)[0] < self.rate)
 
     def sample_mask(self, batch: PacketBatch) -> np.ndarray:
+        """Keep-mask for a batch, keyed on the batch's integer flow ids.
+
+        Parameters
+        ----------
+        batch:
+            The packets to decide on.
+
+        Returns
+        -------
+        numpy.ndarray
+            Boolean keep-mask; all packets of a flow share one decision,
+            which is a pure function of (flow id, seed) and therefore
+            invariant to chunking and stream order.
+        """
         return _hash_ids(batch.flow_ids, self.seed) < self.rate
 
 

@@ -55,7 +55,9 @@ class TestRunCommand:
         assert code == 0
         output = capsys.readouterr().out
         assert "pipeline run (streamed)" in output
-        assert "bernoulli(p=0.5)" in output
+        # The printed label is the sampler's canonical spec, so it can be
+        # pasted straight back into a --sampler flag.
+        assert "bernoulli:rate=0.5" in output
         assert "ranking" in output and "detection" in output
 
     def test_run_multiple_samplers(self, capsys):
@@ -70,8 +72,8 @@ class TestRunCommand:
             ]
         )
         output = capsys.readouterr().out
-        assert "bernoulli(p=0.5)" in output
-        assert "periodic(1-in-2)" in output
+        assert "bernoulli:rate=0.5" in output
+        assert "periodic:period=2" in output
 
     def test_run_prefix_key_spec(self, capsys):
         main(
@@ -120,6 +122,27 @@ class TestRunCommand:
         # 120 s of arrivals at 60 s bins -> 2-3 bins (flow tails may spill
         # past the window); 600 s (the flag) would give ~10.
         assert len(bin_starts) <= 4
+
+    def test_run_with_jobs_matches_serial(self, capsys):
+        """repro run --jobs 2 works end-to-end and matches the serial output."""
+        args = [
+            "run",
+            "--trace", "sprint",
+            "--scale", "0.002",
+            "--duration", "120",
+            "--sampler", "bernoulli:rate=0.5",
+            "--sampler", "sample-and-hold:rate=0.1",
+            "--bin", "60",
+            "--top", "3",
+            "--runs", "2",
+            "--seed", "7",
+        ]
+        assert main(args + ["--jobs", "2"]) == 0
+        parallel_output = capsys.readouterr().out
+        assert main(args + ["--jobs", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert parallel_output == serial_output
+        assert "sample-and-hold:rate=0.1" in parallel_output
 
     def test_run_chunk_packets_conflicts_with_materialised(self, capsys):
         assert main(

@@ -12,6 +12,7 @@ from repro.registry import (
     TRACES,
     Registry,
     UnknownComponentError,
+    format_spec,
     parse_spec,
 )
 from repro.sampling.base import PacketSampler
@@ -81,6 +82,88 @@ class TestParseSpec:
             parse_spec(":rate=0.1")
         with pytest.raises(ValueError):
             parse_spec("bernoulli:rate")
+
+
+class TestSpecRoundTrip:
+    """Spec -> sampler -> spec is exact, so CLI output is re-usable input."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "bernoulli:rate=0.01",
+            "bernoulli:rate=0.5",
+            "periodic:period=100",
+            "periodic:period=100,phase=3",
+            "flow-hash:rate=0.1",
+            "flow-hash:rate=0.1,seed=7",
+            "sample-and-hold:rate=0.05",
+        ],
+    )
+    def test_pinned_spec_round_trips_exactly(self, spec):
+        name, kwargs = parse_spec(spec)
+        sampler = SAMPLERS.create(name, **kwargs)
+        assert sampler.spec == spec
+        assert sampler.name == spec  # reports echo the spec verbatim
+
+    @pytest.mark.parametrize("name", SAMPLERS.names())
+    def test_every_builtin_sampler_spec_rebuilds_itself(self, name):
+        sampler = SAMPLERS.create(name, rate=0.25)
+        spec_name, kwargs = parse_spec(sampler.spec)
+        rebuilt = SAMPLERS.create(spec_name, **kwargs)
+        assert rebuilt.spec == sampler.spec
+        assert rebuilt.effective_rate == sampler.effective_rate
+
+    def test_format_spec_is_parse_spec_inverse(self):
+        cases = [
+            ("bernoulli", {"rate": 0.01}),
+            ("periodic", {"period": 100, "phase": 3}),
+            ("custom", {"rates": (0.1, 0.5), "mode": "fast", "flag": True}),
+            ("plain", {}),
+        ]
+        for name, kwargs in cases:
+            assert parse_spec(format_spec(name, kwargs)) == (name, kwargs)
+
+    def test_format_spec_quotes_ambiguous_strings(self):
+        spec = format_spec("x", {"label": "a,b"})
+        assert parse_spec(spec) == ("x", {"label": "a,b"})
+
+    @pytest.mark.parametrize(
+        "value",
+        ["don't", 'say "hi"', "a'b\"c,d", " padded ", "", "True", "(x)"],
+    )
+    def test_format_spec_round_trips_awkward_strings(self, value):
+        """Quotes, commas, padding and literal-lookalikes survive exactly."""
+        assert parse_spec(format_spec("x", {"v": value, "n": 1})) == (
+            "x",
+            {"v": value, "n": 1},
+        )
+
+    def test_bare_apostrophe_values_parse_as_before(self):
+        """A mid-word quote is just a character, not a quoted region."""
+        assert parse_spec("x:a=don't,b=1") == ("x", {"a": "don't", "b": 1})
+
+    def test_format_spec_rejects_bad_names(self):
+        with pytest.raises(ValueError):
+            format_spec("")
+        with pytest.raises(ValueError):
+            format_spec("a:b")
+
+    def test_pipeline_labels_are_valid_specs(self, small_trace):
+        """The labels a pipeline prints resolve back through the registry."""
+        from repro.pipeline import Pipeline
+
+        result = (
+            Pipeline()
+            .with_trace(small_trace)
+            .with_sampler("bernoulli", rate=0.5)
+            .with_sampler("sample-and-hold", rate=0.1)
+            .with_runs(1)
+            .with_seed(0)
+            .run()
+        )
+        for label in result.labels:
+            name, kwargs = parse_spec(label)
+            assert SAMPLERS.create(name, **kwargs).spec == label
 
 
 class TestBuiltinSamplers:

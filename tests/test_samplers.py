@@ -138,3 +138,83 @@ class TestHashFlowSampler:
         original_counts = batch.flow_packet_counts()
         for flow_id, count in sampled.flow_packet_counts().items():
             assert count == original_counts[flow_id]
+
+
+class TestSampleAndHoldSampler:
+    def _sampler(self, rate=0.01, seed=0):
+        from repro.sampling import SampleAndHoldSampler
+
+        return SampleAndHoldSampler(rate, rng=np.random.default_rng(seed))
+
+    def test_rejects_bad_rate(self):
+        from repro.sampling import SampleAndHoldSampler
+
+        with pytest.raises(ValueError):
+            SampleAndHoldSampler(0.0)
+        with pytest.raises(ValueError):
+            SampleAndHoldSampler(1.5)
+
+    def test_rate_one_keeps_everything(self):
+        sampler = self._sampler(rate=1.0)
+        batch = make_batch(2_000, num_flows=40)
+        assert sampler.sample_mask(batch).all()
+
+    def test_holds_every_packet_after_admission(self):
+        """Once a flow is tracked, all its later packets are kept."""
+        sampler = self._sampler(rate=0.05, seed=3)
+        batch = make_batch(20_000, num_flows=100)
+        mask = sampler.sample_mask(batch)
+        for flow_id in np.unique(batch.flow_ids):
+            flow_mask = mask[batch.flow_ids == flow_id]
+            kept = np.flatnonzero(flow_mask)
+            if kept.size:
+                # Contiguous tail: nothing is dropped after the first keep.
+                assert flow_mask[kept[0]:].all()
+
+    def test_mask_is_chunk_size_invariant(self):
+        """Same decisions whether the stream arrives whole or in pieces."""
+        batch = make_batch(15_000, num_flows=150)
+        whole = self._sampler(rate=0.01, seed=7).sample_mask(batch)
+        chunked_sampler = self._sampler(rate=0.01, seed=7)
+        pieces = [
+            chunked_sampler.sample_mask(batch.select(np.arange(len(batch)) // 997 == i))
+            for i in range((len(batch) + 996) // 997)
+        ]
+        np.testing.assert_array_equal(whole, np.concatenate(pieces))
+
+    def test_matches_per_packet_reference(self):
+        """The vectorised mask equals naive one-packet-at-a-time processing."""
+        batch = make_batch(5_000, num_flows=60)
+        mask = self._sampler(rate=0.02, seed=5).sample_mask(batch)
+        rng = np.random.default_rng(5)
+        tracked: set[int] = set()
+        reference = []
+        for flow_id in batch.flow_ids:
+            draw = rng.random()
+            if int(flow_id) in tracked:
+                reference.append(True)
+            elif draw < 0.02:
+                tracked.add(int(flow_id))
+                reference.append(True)
+            else:
+                reference.append(False)
+        np.testing.assert_array_equal(mask, np.asarray(reference))
+
+    def test_reset_forgets_tracked_flows(self):
+        sampler = self._sampler(rate=1.0)
+        batch = make_batch(100, num_flows=5)
+        sampler.sample_mask(batch)
+        assert sampler.tracked_flows > 0
+        sampler.reset()
+        assert sampler.tracked_flows == 0
+
+    def test_spawn_gives_independent_clean_clone(self):
+        sampler = self._sampler(rate=0.5, seed=1)
+        batch = make_batch(1_000, num_flows=20)
+        sampler.sample_mask(batch)
+        clone = sampler.spawn(np.random.default_rng(2))
+        assert clone.tracked_flows == 0
+        assert sampler.tracked_flows > 0
+
+    def test_effective_rate_is_admission_probability(self):
+        assert self._sampler(rate=0.25).effective_rate == 0.25
