@@ -36,7 +36,14 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 import numpy as np  # noqa: E402
 
+from repro.flows.accounting import FlowAccountingEngine  # noqa: E402
+from repro.flows.keys import FiveTupleKeyPolicy  # noqa: E402
+from repro.flows.packets import Packet  # noqa: E402
+from repro.flows.records import FlowSummary, ranking_sort_key  # noqa: E402
+from repro.flows.table import BinnedFlowTable, FlowBin  # noqa: E402
 from repro.pipeline import Pipeline  # noqa: E402
+from repro.pipeline.executor import DEFAULT_CHUNK_PACKETS, iter_expanded_chunks  # noqa: E402
+from repro.registry import TRACES  # noqa: E402
 
 #: Sampling rates of the paper's trace-driven sweep (Figs. 12-15).
 SWEEP_RATES = (0.001, 0.01, 0.1, 0.5)
@@ -100,6 +107,103 @@ def bench_sweep(args: argparse.Namespace) -> dict:
         "serial_seconds": round(serial_seconds, 4),
         "parallel_seconds": round(parallel_seconds, 4),
         "speedup": round(serial_seconds / parallel_seconds, 3) if parallel_seconds else None,
+        "bit_identical": identical,
+    }
+
+
+def bench_flow_accounting(args: argparse.Namespace) -> dict:
+    """Monitor flow accounting: legacy object path vs columnar engine.
+
+    Streams the same expanded packet trace through the per-packet
+    ``BinnedFlowTable`` (``backend="object"``) and through the columnar
+    ``FlowAccountingEngine``, asserts the produced bins are
+    bit-identical, and records packets/second for both.  In full mode
+    the workload is at least a million packets so the speedup is
+    measured where it matters.
+    """
+    scale = args.scale if args.quick else max(args.scale, 0.06)
+    generator = TRACES.create("sprint", scale=scale, duration=args.duration)
+    trace = generator.generate(rng=np.random.default_rng(args.seed))
+    chunks = list(
+        iter_expanded_chunks(
+            trace,
+            np.random.default_rng(args.seed),
+            chunk_packets=DEFAULT_CHUNK_PACKETS,
+            clip_to_duration=trace.duration,
+        )
+    )
+    total_packets = sum(len(chunk) for chunk in chunks)
+    policy = FiveTupleKeyPolicy()
+    encoder = policy.make_encoder()
+    codes = policy.keys_of_batch(
+        trace.src_ips,
+        trace.dst_ips,
+        trace.src_ports,
+        trace.dst_ports,
+        trace.protocols,
+        encoder=encoder,
+    )
+
+    def columnar():
+        engine = FlowAccountingEngine(60.0, order_key=encoder.order_key)
+        for chunk in chunks:
+            engine.observe_batch(chunk, codes)
+        return engine.flush()
+
+    columnar_seconds, accounts = _timed(columnar)
+
+    # Object path: the same stream, one Packet at a time.  Object
+    # construction happens outside the timer so both paths are timed on
+    # accounting work alone.
+    five_tuples = [trace.five_tuple(index) for index in range(trace.num_flows)]
+    table = BinnedFlowTable(60.0, backend="object")
+    object_seconds = 0.0
+    for chunk in chunks:
+        packets = [
+            Packet(float(ts), five_tuples[int(fid)], int(size))
+            for ts, fid, size in zip(chunk.timestamps, chunk.flow_ids, chunk.sizes_bytes)
+        ]
+        start = time.perf_counter()
+        for packet in packets:
+            table.observe(packet)
+        object_seconds += time.perf_counter() - start
+    start = time.perf_counter()
+    bins = table.flush()
+    object_seconds += time.perf_counter() - start
+
+    def to_flow_bin(account) -> FlowBin:
+        flows = sorted(
+            (
+                FlowSummary(encoder.decode(int(c)), int(p), int(b), float(f), float(l))
+                for c, p, b, f, l in zip(
+                    account.codes,
+                    account.packets,
+                    account.bytes,
+                    account.first_seen,
+                    account.last_seen,
+                )
+            ),
+            key=ranking_sort_key,
+        )
+        return FlowBin(account.index, account.start_time, account.end_time, tuple(flows))
+
+    identical = [to_flow_bin(account) for account in accounts] == bins
+    if not identical:
+        raise SystemExit(
+            "FATAL: columnar accounting diverges from the object path — equivalence regression"
+        )
+    return {
+        "packets": total_packets,
+        "bins": len(bins),
+        "object_seconds": round(object_seconds, 4),
+        "columnar_seconds": round(columnar_seconds, 4),
+        "object_packets_per_second": round(total_packets / object_seconds)
+        if object_seconds
+        else None,
+        "columnar_packets_per_second": round(total_packets / columnar_seconds)
+        if columnar_seconds
+        else None,
+        "speedup": round(object_seconds / columnar_seconds, 2) if columnar_seconds else None,
         "bit_identical": identical,
     }
 
@@ -169,6 +273,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"expansion   ... ", end="", flush=True)
     report["results"]["expansion"] = expansion = bench_expansion(args)
     print(f"{expansion['packets']:,} packets in {expansion['seconds']}s")
+
+    print(f"accounting  ... ", end="", flush=True)
+    report["results"]["flow_accounting"] = accounting = bench_flow_accounting(args)
+    print(
+        f"{accounting['packets']:,} packets: object "
+        f"{accounting['object_seconds']}s vs columnar {accounting['columnar_seconds']}s "
+        f"-> {accounting['speedup']}x (bit-identical)"
+    )
 
     print(f"sweep       ... ", end="", flush=True)
     report["results"]["sweep"] = sweep = bench_sweep(args)

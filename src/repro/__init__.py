@@ -57,7 +57,7 @@ from .distributions import ParetoFlowSizes
 from .pipeline import Pipeline, PipelineResult
 from .registry import DISTRIBUTIONS, KEY_POLICIES, SAMPLERS, TRACES, parse_spec
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",

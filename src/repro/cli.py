@@ -13,6 +13,12 @@ Four subcommands cover the workflows the library supports:
   synthetic Sprint-like or Abilene-like trace
   (``repro simulate --scale 0.01``).
 
+``repro run --monitor [max_flows=N]`` switches ``run`` to the
+monitor-in-the-loop evaluation: each sampler's packets feed a real
+bounded flow table (smallest-flow eviction) and the reported metrics
+include the bounded-memory error; eviction counts are printed per
+sampler.
+
 Component specs use the ``name:key=value,key=value`` syntax of
 :func:`repro.registry.parse_spec`; ``repro run --list-components``
 prints every registered name.  ``run``, ``figure`` and ``simulate``
@@ -44,6 +50,7 @@ from .registry import (
     SAMPLERS,
     TRACES,
     UnknownComponentError,
+    parse_kwargs,
     parse_spec,
 )
 
@@ -91,6 +98,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--materialised",
         action="store_true",
         help="expand the whole packet trace in memory instead of streaming",
+    )
+    run.add_argument(
+        "--monitor",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="K=V,...",
+        help="evaluate through the monitor-in-the-loop flow-accounting engine; "
+        "optionally bound its flow memory, e.g. --monitor max_flows=4096 "
+        "(evictions are reported per sampler)",
     )
     run.add_argument(
         "--jobs",
@@ -196,6 +213,14 @@ def _run_pipeline(args: argparse.Namespace) -> str:
         pipeline.streaming(
             DEFAULT_CHUNK_PACKETS if args.chunk_packets is None else args.chunk_packets
         )
+    if args.monitor is not None:
+        options = parse_kwargs(args.monitor)
+        unknown = set(options) - {"max_flows"}
+        if unknown:
+            raise ValueError(
+                f"unknown --monitor option(s) {sorted(unknown)}; expected max_flows=N"
+            )
+        pipeline.with_monitor(options.get("max_flows"))
     result = pipeline.run(jobs=args.jobs)
     text = render_pipeline_result(result)
     if args.csv:

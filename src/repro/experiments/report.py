@@ -75,6 +75,15 @@ def render_pipeline_result(result: PipelineResult) -> str:
             f"{result.total_packets:,} packets"
         )
     ]
+    if result.monitor:
+        bound = "unbounded" if result.max_flows is None else f"max_flows = {result.max_flows:,}"
+        evictions = ", ".join(
+            f"{label}: {np.mean(runs):.1f}" for label, runs in result.evictions.items()
+        )
+        lines.append(
+            f"monitor-in-the-loop ({bound}); mean evictions per run: "
+            f"{evictions if evictions else 'n/a'}"
+        )
     header = ["problem", "sampler", "rate", "mean swapped pairs", "mean+std < 1 (bins %)"]
     widths = [10, 24, 8, 20, 22]
     lines.append(_format_row(header, widths))

@@ -1,27 +1,49 @@
-"""Flow abstraction substrate: keys, packets, records, classification."""
+"""Flow abstraction substrate: keys, packets, records, classification.
 
+Two parallel APIs cover the monitor path:
+
+* the **object path** — :class:`Packet` streams through
+  :class:`FlowClassifier` / :class:`BinnedFlowTable`;
+* the **columnar path** — :class:`PacketBatch` chunks through the
+  :class:`FlowAccountingEngine`, with flow keys carried as integer
+  codes (:class:`FlowKeyEncoder`).
+
+Both produce bit-identical bins; the columnar path is the fast one.
+"""
+
+from .accounting import BinAccount, FlowAccountingEngine, aggregate_codes, bin_segments
 from .classifier import FlowClassifier
 from .keys import (
     PROTO_ICMP,
     PROTO_TCP,
     PROTO_UDP,
+    DestinationPrefixKeyEncoder,
     DestinationPrefixKeyPolicy,
     FiveTuple,
+    FiveTupleKeyEncoder,
     FiveTupleKeyPolicy,
+    FlowKeyEncoder,
     FlowKeyPolicy,
+    ObjectKeyEncoder,
+    flow_key_order,
     int_to_ip,
     ip_to_int,
     prefix_of,
 )
 from .packets import DEFAULT_PACKET_SIZE_BYTES, Packet, PacketBatch
-from .records import FlowRecord, FlowSummary
-from .table import BinnedFlowTable, FlowBin
+from .records import FlowRecord, FlowSummary, ranking_sort_key
+from .table import TABLE_BACKENDS, BinnedFlowTable, FlowBin
 
 __all__ = [
     "FiveTuple",
     "FlowKeyPolicy",
     "FiveTupleKeyPolicy",
     "DestinationPrefixKeyPolicy",
+    "FlowKeyEncoder",
+    "FiveTupleKeyEncoder",
+    "DestinationPrefixKeyEncoder",
+    "ObjectKeyEncoder",
+    "flow_key_order",
     "ip_to_int",
     "int_to_ip",
     "prefix_of",
@@ -33,7 +55,13 @@ __all__ = [
     "DEFAULT_PACKET_SIZE_BYTES",
     "FlowRecord",
     "FlowSummary",
+    "ranking_sort_key",
     "FlowClassifier",
     "BinnedFlowTable",
     "FlowBin",
+    "TABLE_BACKENDS",
+    "BinAccount",
+    "FlowAccountingEngine",
+    "aggregate_codes",
+    "bin_segments",
 ]

@@ -12,12 +12,28 @@ aggregation helpers, and :class:`FlowKeyPolicy` objects that map a
 packet (or a 5-tuple) to the flow identifier used for classification.
 IPv4 addresses are carried as unsigned 32-bit integers internally, with
 helpers to convert from and to dotted-quad notation.
+
+Two views of a flow key coexist:
+
+* the **object view** (``key_of``) — a hashable Python object
+  (:class:`FiveTuple` or an integer prefix), used by the per-packet
+  classification API;
+* the **columnar view** (``keys_of_batch`` / :class:`FlowKeyEncoder`) —
+  an ``int64`` *key code* per packet, produced vectorised from the
+  5-tuple columns.  The columnar flow-accounting engine
+  (:mod:`repro.flows.accounting`) works entirely on key codes; an
+  encoder can decode a code back to the object-view key, and exposes a
+  total order over codes (:meth:`FlowKeyEncoder.order_key`) that matches
+  :func:`flow_key_order` on the decoded keys, so both paths rank and
+  evict flows identically.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+
+import numpy as np
 
 #: Protocol numbers for the transports that dominate backbone traffic.
 PROTO_TCP = 6
@@ -131,6 +147,208 @@ class FiveTuple:
         )
 
 
+def flow_key_order(key: object):
+    """Total order over flow keys, used as the final ranking/eviction tie-break.
+
+    Flows with identical packet and byte counts are ordered by this
+    value wherever a ranking is produced, so rankings never depend on
+    dict insertion order.  :class:`FiveTuple` keys order by their field
+    tuple, integer keys (prefixes, group ids) by value; any other key
+    type falls back to its ``repr``, which is deterministic for a fixed
+    key population.
+
+    >>> flow_key_order(7)
+    7
+    >>> flow_key_order(FiveTuple(1, 2, 3, 4, 6))
+    (1, 2, 3, 4, 6)
+    """
+    if isinstance(key, FiveTuple):
+        return (key.src_ip, key.dst_ip, key.src_port, key.dst_port, key.protocol)
+    if isinstance(key, (int, np.integer)):
+        return int(key)
+    return repr(key)
+
+
+class FlowKeyEncoder(abc.ABC):
+    """Stateful codec between flow keys and ``int64`` key codes.
+
+    An encoder assigns every distinct flow key a non-negative ``int64``
+    *code* and can map codes back to the object-view key.  Codes are
+    stable for the lifetime of one encoder instance, which is what lets
+    a chunked (streaming) consumer accumulate per-flow state across
+    chunks; two encoder instances may assign different codes to the
+    same key.
+    """
+
+    @abc.abstractmethod
+    def encode_batch(
+        self,
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        src_ports: np.ndarray,
+        dst_ports: np.ndarray,
+        protocols: np.ndarray,
+    ) -> np.ndarray:
+        """Key code of every 5-tuple row (vectorised)."""
+
+    @abc.abstractmethod
+    def encode_key(self, key: object) -> int:
+        """Code of one object-view key (as produced by ``key_of``)."""
+
+    @abc.abstractmethod
+    def decode(self, code: int) -> object:
+        """Object-view key of one code previously produced by this encoder."""
+
+    def order_key(self, code: int):
+        """Comparable value ordering codes like :func:`flow_key_order` orders keys."""
+        return code
+
+
+class FiveTupleKeyEncoder(FlowKeyEncoder):
+    """Interning encoder for 5-tuple keys.
+
+    A 5-tuple is packed into two integers — ``hi = src_ip << 32 |
+    dst_ip`` and ``lo = src_port << 24 | dst_port << 8 | protocol`` —
+    and each distinct packed pair is interned to the next free code the
+    first time the encoder meets it.  ``encode_batch`` finds the
+    distinct rows of a whole column batch with one ``np.unique`` over
+    the packed pairs and interns only those (in the sorted order
+    ``np.unique`` yields), so the per-packet work is pure NumPy.  Code
+    values are arbitrary but stable per encoder; only
+    :meth:`order_key` defines an ordering over them.
+    """
+
+    def __init__(self) -> None:
+        self._code_of: dict[tuple[int, int], int] = {}
+        self._hi: list[int] = []
+        self._lo: list[int] = []
+
+    @staticmethod
+    def _pack_arrays(src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+        packed = np.empty(len(src_ips), dtype=[("hi", np.uint64), ("lo", np.int64)])
+        packed["hi"] = (np.asarray(src_ips, dtype=np.uint64) << np.uint64(32)) | np.asarray(
+            dst_ips, dtype=np.uint64
+        )
+        packed["lo"] = (
+            (np.asarray(src_ports, dtype=np.int64) << 24)
+            | (np.asarray(dst_ports, dtype=np.int64) << 8)
+            | np.asarray(protocols, dtype=np.int64)
+        )
+        return packed
+
+    def _intern(self, hi: int, lo: int) -> int:
+        code = self._code_of.get((hi, lo))
+        if code is None:
+            code = len(self._hi)
+            self._code_of[(hi, lo)] = code
+            self._hi.append(hi)
+            self._lo.append(lo)
+        return code
+
+    def encode_batch(self, src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+        packed = self._pack_arrays(src_ips, dst_ips, src_ports, dst_ports, protocols)
+        if packed.size == 0:
+            return np.empty(0, dtype=np.int64)
+        unique, inverse = np.unique(packed, return_inverse=True)
+        codes_of_unique = np.fromiter(
+            (self._intern(int(row["hi"]), int(row["lo"])) for row in unique),
+            dtype=np.int64,
+            count=unique.size,
+        )
+        return codes_of_unique[inverse.reshape(-1)]
+
+    def encode_key(self, key: FiveTuple) -> int:
+        hi = (key.src_ip << 32) | key.dst_ip
+        lo = (key.src_port << 24) | (key.dst_port << 8) | key.protocol
+        return self._intern(hi, lo)
+
+    def decode(self, code: int) -> FiveTuple:
+        hi, lo = self._hi[code], self._lo[code]
+        return FiveTuple(
+            src_ip=hi >> 32,
+            dst_ip=hi & _MAX_IPV4,
+            src_port=lo >> 24,
+            dst_port=(lo >> 8) & _MAX_PORT,
+            protocol=lo & 0xFF,
+        )
+
+    def order_key(self, code: int) -> tuple[int, int]:
+        # (hi, lo) orders exactly like flow_key_order on the decoded tuple.
+        return (self._hi[code], self._lo[code])
+
+
+class DestinationPrefixKeyEncoder(FlowKeyEncoder):
+    """Stateless encoder for destination-prefix keys: code = masked prefix.
+
+    The code is the prefix shifted down to its significant bits, so the
+    code order equals the numeric order of the prefix keys and no
+    interning state is needed.
+    """
+
+    def __init__(self, prefix_length: int = 24) -> None:
+        if not 0 <= prefix_length <= 32:
+            raise ValueError(f"prefix_length must be in [0, 32], got {prefix_length}")
+        self.prefix_length = int(prefix_length)
+        self._shift = 32 - self.prefix_length
+
+    def encode_batch(self, src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+        dst = np.asarray(dst_ips, dtype=np.int64)
+        if self._shift >= 32:
+            return np.zeros(dst.shape, dtype=np.int64)
+        return dst >> self._shift
+
+    def encode_key(self, key: int) -> int:
+        if self._shift >= 32:
+            return 0
+        return int(key) >> self._shift
+
+    def decode(self, code: int) -> int:
+        if self._shift >= 32:
+            return 0
+        return int(code) << self._shift
+
+
+class ObjectKeyEncoder(FlowKeyEncoder):
+    """Generic interning encoder for custom :class:`FlowKeyPolicy` types.
+
+    Falls back to calling ``key_of`` row by row, so it is only as fast
+    as the object path — it exists so that third-party policies work
+    with the columnar engine unchanged.  Keys must be hashable.
+    """
+
+    def __init__(self, policy: "FlowKeyPolicy") -> None:
+        self._policy = policy
+        self._code_of: dict[object, int] = {}
+        self._keys: list[object] = []
+
+    def encode_batch(self, src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+        codes = np.empty(len(src_ips), dtype=np.int64)
+        for row in range(len(src_ips)):
+            five_tuple = FiveTuple(
+                src_ip=int(src_ips[row]),
+                dst_ip=int(dst_ips[row]),
+                src_port=int(src_ports[row]),
+                dst_port=int(dst_ports[row]),
+                protocol=int(protocols[row]),
+            )
+            codes[row] = self.encode_key(self._policy.key_of(five_tuple))
+        return codes
+
+    def encode_key(self, key: object) -> int:
+        code = self._code_of.get(key)
+        if code is None:
+            code = len(self._keys)
+            self._code_of[key] = code
+            self._keys.append(key)
+        return code
+
+    def decode(self, code: int) -> object:
+        return self._keys[code]
+
+    def order_key(self, code: int):
+        return flow_key_order(self._keys[code])
+
+
 class FlowKeyPolicy(abc.ABC):
     """Maps a 5-tuple to the flow identifier used for classification."""
 
@@ -140,6 +358,46 @@ class FlowKeyPolicy(abc.ABC):
     @abc.abstractmethod
     def key_of(self, five_tuple: FiveTuple) -> object:
         """Flow identifier of a packet carrying this 5-tuple."""
+
+    def make_encoder(self) -> FlowKeyEncoder:
+        """A fresh key-code encoder for this policy (see :class:`FlowKeyEncoder`).
+
+        The base implementation returns a generic
+        :class:`ObjectKeyEncoder`; the built-in policies override it
+        with fully vectorised codecs.
+        """
+        return ObjectKeyEncoder(self)
+
+    def keys_of_batch(
+        self,
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        src_ports: np.ndarray,
+        dst_ports: np.ndarray,
+        protocols: np.ndarray,
+        encoder: FlowKeyEncoder | None = None,
+    ) -> np.ndarray:
+        """Vectorised flow-key extraction: one ``int64`` key code per row.
+
+        Parameters
+        ----------
+        src_ips, dst_ips, src_ports, dst_ports, protocols:
+            Columnar 5-tuple fields (one entry per packet or per flow).
+        encoder:
+            The encoder assigning the codes.  Pass the same encoder for
+            every chunk of a stream so codes stay stable across chunks;
+            when omitted a fresh :meth:`make_encoder` is used, making
+            the returned codes meaningful only within this one call.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` key codes; rows with equal flow keys under this
+            policy receive equal codes.
+        """
+        if encoder is None:
+            encoder = self.make_encoder()
+        return encoder.encode_batch(src_ips, dst_ips, src_ports, dst_ports, protocols)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -152,6 +410,9 @@ class FiveTupleKeyPolicy(FlowKeyPolicy):
 
     def key_of(self, five_tuple: FiveTuple) -> FiveTuple:
         return five_tuple
+
+    def make_encoder(self) -> FiveTupleKeyEncoder:
+        return FiveTupleKeyEncoder()
 
 
 class DestinationPrefixKeyPolicy(FlowKeyPolicy):
@@ -166,6 +427,9 @@ class DestinationPrefixKeyPolicy(FlowKeyPolicy):
     def key_of(self, five_tuple: FiveTuple) -> int:
         return prefix_of(five_tuple.dst_ip, self.prefix_length)
 
+    def make_encoder(self) -> DestinationPrefixKeyEncoder:
+        return DestinationPrefixKeyEncoder(self.prefix_length)
+
     def __repr__(self) -> str:
         return f"DestinationPrefixKeyPolicy(prefix_length={self.prefix_length})"
 
@@ -175,6 +439,11 @@ __all__ = [
     "FlowKeyPolicy",
     "FiveTupleKeyPolicy",
     "DestinationPrefixKeyPolicy",
+    "FlowKeyEncoder",
+    "FiveTupleKeyEncoder",
+    "DestinationPrefixKeyEncoder",
+    "ObjectKeyEncoder",
+    "flow_key_order",
     "ip_to_int",
     "int_to_ip",
     "prefix_of",

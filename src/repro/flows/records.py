@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .keys import flow_key_order
+
 
 @dataclass
 class FlowRecord:
@@ -34,6 +36,26 @@ class FlowRecord:
             self.first_seen = timestamp
         if timestamp > self.last_seen:
             self.last_seen = timestamp
+
+    def merge(self, packets: int, size_bytes: int, first_seen: float, last_seen: float) -> None:
+        """Account a pre-aggregated group of packets of this flow at once.
+
+        The bulk counterpart of :meth:`update`, used by the columnar
+        ingestion paths: ``packets`` packets totalling ``size_bytes``
+        bytes, observed between ``first_seen`` and ``last_seen``.
+        """
+        if packets < 1:
+            raise ValueError(f"packets must be at least 1, got {packets}")
+        if size_bytes < packets:
+            raise ValueError("size_bytes must cover at least one byte per packet")
+        if first_seen < 0 or last_seen < first_seen:
+            raise ValueError("need 0 <= first_seen <= last_seen")
+        self.packets += int(packets)
+        self.bytes += int(size_bytes)
+        if first_seen < self.first_seen:
+            self.first_seen = first_seen
+        if last_seen > self.last_seen:
+            self.last_seen = last_seen
 
     @property
     def duration(self) -> float:
@@ -84,4 +106,16 @@ class FlowSummary:
         return self.bytes / self.packets
 
 
-__all__ = ["FlowRecord", "FlowSummary"]
+def ranking_sort_key(flow: FlowSummary):
+    """Deterministic monitor ranking order for flow summaries.
+
+    Flows rank by decreasing packet count, then decreasing byte count,
+    then by :func:`~repro.flows.keys.flow_key_order` of the flow key —
+    so the full ranking is a pure function of the flow statistics,
+    never of dict insertion order.  Every ranking the library produces
+    (classifier export, bin reports, the columnar engine) uses this key.
+    """
+    return (-flow.packets, -flow.bytes, flow_key_order(flow.key))
+
+
+__all__ = ["FlowRecord", "FlowSummary", "ranking_sort_key"]

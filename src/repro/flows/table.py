@@ -7,20 +7,42 @@ memory is cleared and the next interval starts.  Flows that span a bin
 boundary are truncated — exactly the artefact the paper's trace-driven
 simulations exercise.
 
-:class:`BinnedFlowTable` implements that behaviour on top of
-:class:`~repro.flows.classifier.FlowClassifier`, optionally with a
+:class:`BinnedFlowTable` implements that behaviour, optionally with a
 bounded number of flow records (evicting the smallest flows when full,
-as the related-work heavy-hitter systems do).
+as the related-work heavy-hitter systems do).  Two interchangeable
+backends exist:
+
+* ``"columnar"`` (the default) — a thin object-API wrapper over the
+  :class:`~repro.flows.accounting.FlowAccountingEngine`: packets are
+  buffered into small column chunks and folded in vectorised;
+* ``"object"`` — the legacy per-packet path over
+  :class:`~repro.flows.classifier.FlowClassifier`, kept as the
+  reference implementation.
+
+The two backends produce bit-identical bins, rankings and eviction
+counts for any packet stream (asserted by the property-based tests in
+``tests/test_accounting.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
+from .accounting import BinAccount, FlowAccountingEngine
 from .classifier import FlowClassifier
-from .keys import FlowKeyPolicy
+from .keys import FiveTupleKeyPolicy, FlowKeyPolicy
 from .packets import Packet
-from .records import FlowSummary
+from .records import FlowSummary, ranking_sort_key
+
+#: Packets buffered by the columnar backend before folding into the
+#: engine; large enough to amortise the NumPy call overhead, small
+#: enough to be invisible next to a bin.
+_BUFFER_PACKETS = 4096
+
+#: Accepted ``BinnedFlowTable`` backends.
+TABLE_BACKENDS = ("columnar", "object")
 
 
 @dataclass(frozen=True)
@@ -43,8 +65,13 @@ class FlowBin:
         return sum(flow.packets for flow in self.flows)
 
     def top(self, count: int) -> tuple[FlowSummary, ...]:
-        """The ``count`` largest flows of the bin by packet count."""
-        ordered = sorted(self.flows, key=lambda flow: (-flow.packets, -flow.bytes))
+        """The ``count`` largest flows of the bin by packet count.
+
+        Ordering is fully deterministic: decreasing packets, then
+        decreasing bytes, then the flow key (see
+        :func:`~repro.flows.records.ranking_sort_key`).
+        """
+        ordered = sorted(self.flows, key=ranking_sort_key)
         return tuple(ordered[:count])
 
     def packet_counts(self) -> dict[object, int]:
@@ -67,6 +94,11 @@ class BinnedFlowTable:
         When the table is full and a new flow arrives, the currently
         smallest tracked flow is evicted (the strategy the paper's
         related work uses to bound memory).  ``None`` means unbounded.
+    backend:
+        ``"columnar"`` (default) accounts through the vectorised
+        :class:`~repro.flows.accounting.FlowAccountingEngine`;
+        ``"object"`` uses the legacy per-packet classifier.  Results
+        are bit-identical either way.
     """
 
     def __init__(
@@ -74,33 +106,145 @@ class BinnedFlowTable:
         bin_duration: float,
         key_policy: FlowKeyPolicy | None = None,
         max_flows: int | None = None,
+        backend: str = "columnar",
     ) -> None:
         if bin_duration <= 0:
             raise ValueError(f"bin_duration must be positive, got {bin_duration}")
         if max_flows is not None and max_flows < 1:
             raise ValueError("max_flows must be at least 1 when given")
+        if backend not in TABLE_BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {TABLE_BACKENDS}")
         self.bin_duration = float(bin_duration)
         self.max_flows = max_flows
-        self._classifier = FlowClassifier(key_policy)
+        self.backend = backend
+        self.key_policy = key_policy if key_policy is not None else FiveTupleKeyPolicy()
         self._current_bin_index = 0
         self._completed: list[FlowBin] = []
-        self._evictions = 0
+        if backend == "columnar":
+            self._encoder = self.key_policy.make_encoder()
+            self._engine = FlowAccountingEngine(
+                self.bin_duration, max_flows=max_flows, order_key=self._encoder.order_key
+            )
+            self._buffer_times: list[float] = []
+            self._buffer_codes: list[int] = []
+            self._buffer_sizes: list[int] = []
+        else:
+            self._classifier = FlowClassifier(self.key_policy)
+            self._evictions = 0
 
     # ------------------------------------------------------------------
     @property
     def completed_bins(self) -> list[FlowBin]:
         """Bins that have been closed so far."""
+        if self.backend == "columnar":
+            self._drain()
+            self._collect()
         return list(self._completed)
 
     @property
     def evictions(self) -> int:
         """Number of flow records evicted because of the memory bound."""
+        if self.backend == "columnar":
+            self._drain()
+            return self._engine.evictions
         return self._evictions
 
     def _bin_index_of(self, timestamp: float) -> int:
         return int(timestamp // self.bin_duration)
 
-    def _close_bin(self, bin_index: int) -> None:
+    def observe(self, packet: Packet) -> None:
+        """Account one packet, closing bins as time advances."""
+        bin_index = self._bin_index_of(packet.timestamp)
+        if bin_index < self._current_bin_index:
+            raise ValueError("packets must be observed in non-decreasing time order")
+        if self.backend == "columnar":
+            self._current_bin_index = bin_index
+            code = self._encoder.encode_key(self.key_policy.key_of(packet.five_tuple))
+            self._buffer_times.append(packet.timestamp)
+            self._buffer_codes.append(code)
+            self._buffer_sizes.append(packet.size_bytes)
+            if len(self._buffer_times) >= _BUFFER_PACKETS:
+                self._drain()
+            return
+        while bin_index > self._current_bin_index:
+            self._close_object_bin(self._current_bin_index)
+            self._current_bin_index += 1
+        key = self._classifier.key_policy.key_of(packet.five_tuple)
+        is_new_flow = not self._classifier.tracks(key)
+        if (
+            is_new_flow
+            and self.max_flows is not None
+            and self._classifier.num_flows >= self.max_flows
+        ):
+            self._classifier.evict_smallest()
+            self._evictions += 1
+        self._classifier.observe(packet)
+
+    def flush(self) -> list[FlowBin]:
+        """Close the current bin (if non-empty) and return all completed bins."""
+        if self.backend == "columnar":
+            self._drain()
+            self._engine.close_current()
+            self._collect()
+            self._current_bin_index = max(
+                self._current_bin_index, self._engine.current_bin_index
+            )
+            return list(self._completed)
+        if self._classifier.num_flows > 0:
+            self._close_object_bin(self._current_bin_index)
+            self._current_bin_index += 1
+        return list(self._completed)
+
+    # ------------------------------------------------------------------
+    # Columnar backend internals
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        """Fold the buffered packets into the engine."""
+        if not self._buffer_times:
+            return
+        self._engine.observe_chunk(
+            np.asarray(self._buffer_times, dtype=np.float64),
+            np.asarray(self._buffer_codes, dtype=np.int64),
+            np.asarray(self._buffer_sizes, dtype=np.int64),
+        )
+        self._buffer_times.clear()
+        self._buffer_codes.clear()
+        self._buffer_sizes.clear()
+
+    def _collect(self) -> None:
+        """Convert newly closed engine bins into object-level FlowBins."""
+        for account in self._engine.drain_completed():
+            self._completed.append(self._to_flow_bin(account))
+
+    def _to_flow_bin(self, account: BinAccount) -> FlowBin:
+        flows = [
+            FlowSummary(
+                key=self._encoder.decode(int(code)),
+                packets=int(packets),
+                bytes=int(size_bytes),
+                first_seen=float(first),
+                last_seen=float(last),
+            )
+            for code, packets, size_bytes, first, last in zip(
+                account.codes,
+                account.packets,
+                account.bytes,
+                account.first_seen,
+                account.last_seen,
+            )
+        ]
+        flows.sort(key=ranking_sort_key)
+        return FlowBin(
+            index=account.index,
+            start_time=account.start_time,
+            end_time=account.end_time,
+            flows=tuple(flows),
+        )
+
+    # ------------------------------------------------------------------
+    # Object backend internals
+    # ------------------------------------------------------------------
+    def _close_object_bin(self, bin_index: int) -> None:
         flows = tuple(self._classifier.export_sorted())
         if not flows:
             # Empty measurement intervals produce no report.
@@ -115,36 +259,5 @@ class BinnedFlowTable:
         )
         self._classifier.reset()
 
-    def _evict_smallest(self) -> None:
-        records = self._classifier._records
-        smallest_key = min(records, key=lambda key: records[key].packets)
-        del records[smallest_key]
-        self._evictions += 1
 
-    def observe(self, packet: Packet) -> None:
-        """Account one packet, closing bins as time advances."""
-        bin_index = self._bin_index_of(packet.timestamp)
-        if bin_index < self._current_bin_index:
-            raise ValueError("packets must be observed in non-decreasing time order")
-        while bin_index > self._current_bin_index:
-            self._close_bin(self._current_bin_index)
-            self._current_bin_index += 1
-        key = self._classifier.key_policy.key_of(packet.five_tuple)
-        is_new_flow = key not in self._classifier._records
-        if (
-            is_new_flow
-            and self.max_flows is not None
-            and self._classifier.num_flows >= self.max_flows
-        ):
-            self._evict_smallest()
-        self._classifier.observe(packet)
-
-    def flush(self) -> list[FlowBin]:
-        """Close the current bin (if non-empty) and return all completed bins."""
-        if self._classifier.num_flows > 0:
-            self._close_bin(self._current_bin_index)
-            self._current_bin_index += 1
-        return self.completed_bins
-
-
-__all__ = ["BinnedFlowTable", "FlowBin"]
+__all__ = ["BinnedFlowTable", "FlowBin", "TABLE_BACKENDS"]

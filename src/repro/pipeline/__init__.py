@@ -8,7 +8,13 @@ reproduction.  See :class:`Pipeline` for the facade,
 independent (sampler, run) cells.
 """
 
-from .executor import DEFAULT_CHUNK_PACKETS, iter_expanded_chunks, run_stream
+from .executor import (
+    DEFAULT_CHUNK_PACKETS,
+    MonitorOutcome,
+    iter_expanded_chunks,
+    run_monitor_stream,
+    run_stream,
+)
 from .parallel import BACKENDS, Cell, ExecutionPlan
 from .pipeline import Pipeline, SamplerSpec
 from .result import PipelineResult, SamplerSummary
@@ -21,6 +27,8 @@ __all__ = [
     "DEFAULT_CHUNK_PACKETS",
     "iter_expanded_chunks",
     "run_stream",
+    "run_monitor_stream",
+    "MonitorOutcome",
     "BACKENDS",
     "Cell",
     "ExecutionPlan",

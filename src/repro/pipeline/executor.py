@@ -60,6 +60,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..flows.accounting import BinAccount, FlowAccountingEngine, bin_segments
 from ..flows.packets import DEFAULT_PACKET_SIZE_BYTES, PacketBatch
 from ..sampling.base import PacketSampler
 from ..simulation.evaluation import swapped_pair_counts
@@ -317,11 +318,9 @@ def run_stream(
         # unique_codes is sorted, so each bin occupies a contiguous segment.
         chunk_bins = unique_codes // stride
         chunk_groups = unique_codes % stride
-        segment_starts = np.concatenate(
-            ([0], np.flatnonzero(np.diff(chunk_bins)) + 1, [unique_codes.size])
-        )
-        for lo, hi in zip(segment_starts[:-1], segment_starts[1:]):
-            bin_index = int(chunk_bins[lo])
+        segment_bins, segment_bounds = bin_segments(chunk_bins)
+        for segment, (lo, hi) in enumerate(zip(segment_bounds[:-1], segment_bounds[1:])):
+            bin_index = int(segment_bins[segment])
             state = open_bins.get(bin_index)
             if state is None:
                 open_bins[bin_index] = _BinState(
@@ -349,6 +348,147 @@ def run_stream(
         total_packets=total_packets,
         ranking_values=ranking_values,
         detection_values=detection_values,
+    )
+
+
+@dataclass
+class MonitorOutcome:
+    """Raw output of :func:`run_monitor_stream`.
+
+    Field-compatible with :class:`StreamOutcome` where it matters
+    (:func:`metric_series_for_stream` accepts either), plus the
+    monitor-specific eviction statistics.
+    """
+
+    bin_start_times: np.ndarray
+    flows_per_bin: float
+    total_packets: int
+    ranking_values: np.ndarray  # (num_streams, num_bins)
+    detection_values: np.ndarray  # (num_streams, num_bins)
+    #: Total smallest-flow evictions suffered by each stream's monitor.
+    evictions: np.ndarray  # (num_streams,)
+    max_flows: int | None
+
+
+def run_monitor_stream(
+    chunks: Iterable[PacketBatch],
+    group_of_flow: np.ndarray,
+    stream_samplers: list[PacketSampler],
+    bin_duration: float,
+    top_t: int,
+    max_flows: int | None = None,
+) -> MonitorOutcome:
+    """Monitor-in-the-loop evaluation: sampler -> accounting engine -> metrics.
+
+    Where :func:`run_stream` evaluates an *idealised* monitor (sampled
+    packet counts per bin, unlimited flow memory), this runner puts the
+    real monitor data path in the loop: every stream's sampled packets
+    feed a bounded :class:`~repro.flows.accounting.FlowAccountingEngine`
+    whose ``max_flows`` bound evicts the smallest tracked flow when
+    full — so the reported per-bin ranking/detection swapped pairs
+    include the error introduced by bounded flow memory, not just by
+    sampling.  With ``max_flows=None`` the outcome's metric values are
+    bit-identical to :func:`run_stream`'s for the same samplers.
+
+    Bins are finalised incrementally, exactly like :func:`run_stream`:
+    once the stream head moves past a bin, its truth account and every
+    monitor's account are drained and scored, so memory never scales
+    with the number of bins.
+
+    Parameters
+    ----------
+    chunks:
+        Packet chunks whose concatenation is sorted by timestamp.
+    group_of_flow:
+        Array mapping flow ids to non-negative flow-group identifiers
+        under the chosen flow definition.
+    stream_samplers:
+        One sampler instance per independent stream.
+    bin_duration:
+        Measurement interval length in seconds.
+    top_t:
+        Number of top flows to rank/detect.
+    max_flows:
+        Flow-memory bound of each stream's monitor (``None`` =
+        unbounded).
+
+    Returns
+    -------
+    MonitorOutcome
+        Per-bin swapped-pair counts per stream plus total eviction
+        counts.
+    """
+    if bin_duration <= 0:
+        raise ValueError("bin_duration must be positive")
+    groups = np.asarray(group_of_flow, dtype=np.int64)
+    if groups.ndim != 1:
+        raise ValueError("group_of_flow must be a 1-D array")
+    if groups.size and int(groups.min()) < 0:
+        raise ValueError("flow group identifiers must be non-negative")
+    num_streams = len(stream_samplers)
+
+    truth = FlowAccountingEngine(bin_duration)
+    monitors = [
+        FlowAccountingEngine(bin_duration, max_flows=max_flows) for _ in range(num_streams)
+    ]
+    #: Monitor bins closed but not yet matched with a truth bin, per stream.
+    pending: list[dict[int, BinAccount]] = [{} for _ in range(num_streams)]
+    completed: list[tuple[int, int, np.ndarray, np.ndarray]] = []
+
+    def _score(account: BinAccount) -> None:
+        for stream in range(num_streams):
+            monitors[stream].close_until(account.index + 1)
+            for closed in monitors[stream].drain_completed():
+                pending[stream][closed.index] = closed
+        ranking_row = np.empty(num_streams, dtype=float)
+        detection_row = np.empty(num_streams, dtype=float)
+        for stream in range(num_streams):
+            monitor_account = pending[stream].pop(account.index, None)
+            if monitor_account is None:
+                sampled = np.zeros(account.codes.size, dtype=np.int64)
+            else:
+                sampled = monitor_account.counts_for(account.codes)
+            counts = swapped_pair_counts(account.packets, sampled, top_t)
+            ranking_row[stream] = counts.ranking
+            detection_row[stream] = counts.detection
+        completed.append((account.index, account.num_flows, ranking_row, detection_row))
+
+    previous_end = -np.inf
+    for chunk in chunks:
+        if len(chunk) == 0:
+            continue
+        if int(chunk.flow_ids.max()) >= groups.size:
+            raise ValueError("group_of_flow is too short for the flow ids present in the stream")
+        first_time = float(chunk.timestamps[0])
+        if first_time < previous_end:
+            raise ValueError("chunks must arrive in global time order")
+        previous_end = float(chunk.timestamps[-1])
+
+        codes = groups[chunk.flow_ids]
+        truth.observe_chunk(chunk.timestamps, codes, chunk.sizes_bytes)
+        for stream, sampler in enumerate(stream_samplers):
+            mask = np.asarray(sampler.sample_mask(chunk), dtype=bool)
+            monitors[stream].observe_chunk(
+                chunk.timestamps[mask], codes[mask], chunk.sizes_bytes[mask]
+            )
+        # Bins the stream head has moved past can never grow again.
+        for account in truth.drain_completed():
+            _score(account)
+
+    for account in truth.flush():
+        _score(account)
+    if not completed:
+        raise ValueError("the packet stream produced no measurement bins")
+
+    completed.sort(key=lambda entry: entry[0])
+    return MonitorOutcome(
+        bin_start_times=np.array([index * bin_duration for index, _, _, _ in completed]),
+        flows_per_bin=float(np.mean([flows for _, flows, _, _ in completed])),
+        total_packets=truth.packets_seen,
+        ranking_values=np.stack([row for _, _, row, _ in completed], axis=1),
+        detection_values=np.stack([row for _, _, _, row in completed], axis=1),
+        evictions=np.array([monitor.evictions for monitor in monitors], dtype=np.int64),
+        max_flows=max_flows,
     )
 
 
@@ -391,7 +531,9 @@ def metric_series_for_stream(
 __all__ = [
     "DEFAULT_CHUNK_PACKETS",
     "StreamOutcome",
+    "MonitorOutcome",
     "iter_expanded_chunks",
     "run_stream",
+    "run_monitor_stream",
     "metric_series_for_stream",
 ]

@@ -54,7 +54,13 @@ from ..registry import KEY_POLICIES, SAMPLERS, TRACES, accepts_rng, parse_spec
 from ..sampling.base import PacketSampler
 from ..traces.flow_trace import FlowLevelTrace
 from ..traces.synthetic import SyntheticTraceGenerator
-from .executor import DEFAULT_CHUNK_PACKETS, metric_series_for_stream
+from .executor import (
+    DEFAULT_CHUNK_PACKETS,
+    MonitorOutcome,
+    iter_expanded_chunks,
+    metric_series_for_stream,
+    run_monitor_stream,
+)
 from .parallel import Cell, ExecutionPlan
 from .result import PipelineResult, SamplerSummary
 
@@ -112,6 +118,8 @@ class Pipeline:
         self._evaluate_ranking: bool = True
         self._evaluate_detection: bool = True
         self._packet_rng: np.random.Generator | int | None = None
+        self._monitor: bool = False
+        self._monitor_max_flows: int | None = None
 
     # ------------------------------------------------------------------
     # Builder methods
@@ -354,6 +362,43 @@ class Pipeline:
         self._chunk_packets = None
         return self
 
+    def with_monitor(
+        self, max_flows: int | None = None, *, enabled: bool = True
+    ) -> "Pipeline":
+        """Evaluate through the monitor-in-the-loop accounting engine.
+
+        In monitor mode every (sampler, run) stream feeds its sampled
+        packets into a real bounded flow table
+        (:class:`~repro.flows.accounting.FlowAccountingEngine`): when
+        ``max_flows`` is set and the table fills up, the smallest
+        tracked flow is evicted and its count restarts if it returns —
+        so the reported metrics include the ranking error caused by
+        bounded flow memory, not just by sampling.  With
+        ``max_flows=None`` the metrics are bit-identical to the default
+        (idealised) evaluation; the mode then serves as a cross-check.
+
+        Monitor runs execute serially (the per-stream flow tables are
+        stateful); ``run(parallel="process")`` is rejected.
+
+        Parameters
+        ----------
+        max_flows:
+            Flow-memory bound of each stream's monitor; ``None`` means
+            unbounded.
+        enabled:
+            Pass ``False`` to switch monitor mode back off.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
+        if max_flows is not None and int(max_flows) < 1:
+            raise ValueError("max_flows must be at least 1 when given")
+        self._monitor = bool(enabled)
+        self._monitor_max_flows = None if max_flows is None else int(max_flows)
+        return self
+
     def with_packet_rng(self, rng: np.random.Generator | int | None) -> "Pipeline":
         """Advanced: override the generator used for packet placement.
 
@@ -379,6 +424,8 @@ class Pipeline:
         seed: int | None = None,
         streaming: bool = True,
         chunk_packets: int = DEFAULT_CHUNK_PACKETS,
+        monitor: bool = False,
+        max_flows: int | None = None,
     ) -> "Pipeline":
         """Build a pipeline entirely from string specs.
 
@@ -394,6 +441,9 @@ class Pipeline:
         streaming, chunk_packets:
             Chunked streaming execution (the default) and its chunk
             size; ``streaming=False`` materialises the expansion.
+        monitor, max_flows:
+            Monitor-in-the-loop evaluation (see :meth:`with_monitor`);
+            giving ``max_flows`` implies ``monitor=True``.
 
         Returns
         -------
@@ -416,6 +466,8 @@ class Pipeline:
             pipeline.streaming(chunk_packets)
         else:
             pipeline.materialised()
+        if monitor or max_flows is not None:
+            pipeline.with_monitor(max_flows)
         return pipeline
 
     # ------------------------------------------------------------------
@@ -529,7 +581,15 @@ class Pipeline:
         """
         backend, jobs = _normalise_parallel(parallel, jobs)
         plan = self.plan()
-        outcome = plan.execute(backend=backend, jobs=jobs)
+        if self._monitor:
+            if backend == "process":
+                raise ValueError(
+                    "monitor-in-the-loop mode keeps a stateful flow table per stream "
+                    "and runs serially; use parallel='serial' or 'auto'"
+                )
+            outcome = self._execute_monitor(plan)
+        else:
+            outcome = plan.execute(backend=backend, jobs=jobs)
 
         result = PipelineResult(
             flow_definition=self._resolve_key_policy().name,
@@ -539,6 +599,8 @@ class Pipeline:
             flows_per_bin=outcome.flows_per_bin,
             total_packets=outcome.total_packets,
             streamed=self._chunk_packets is not None,
+            monitor=self._monitor,
+            max_flows=self._monitor_max_flows if self._monitor else None,
         )
         used_labels: set[str] = set()
         for spec_index, spec in enumerate(self._samplers):
@@ -567,7 +629,38 @@ class Pipeline:
                 result.detection[label] = metric_series_for_stream(
                     outcome, "detection", first.effective_rate, stream_slice
                 )
+            if self._monitor:
+                result.evictions[label] = [
+                    int(value) for value in outcome.evictions[stream_slice]
+                ]
         return result
+
+    def _execute_monitor(self, plan: ExecutionPlan) -> MonitorOutcome:
+        """Run the plan's cells through the monitor-in-the-loop executor.
+
+        Samplers are built from the same per-cell seeds the parallel
+        backends use, and the expansion replays from the same entropy —
+        so with ``max_flows=None`` the outcome matches
+        :meth:`ExecutionPlan.execute` bit for bit.
+        """
+        samplers = [
+            plan.sampler_specs[cell.spec_index].build(np.random.default_rng(cell.seed))
+            for cell in plan.cells
+        ]
+        chunks = iter_expanded_chunks(
+            plan.trace,
+            plan._expand_rng(),
+            chunk_packets=plan.chunk_packets,
+            clip_to_duration=plan.clip_to_duration,
+        )
+        return run_monitor_stream(
+            chunks,
+            plan.groups,
+            samplers,
+            plan.bin_duration,
+            plan.top_t,
+            max_flows=self._monitor_max_flows,
+        )
 
 
 def _normalise_parallel(

@@ -53,6 +53,16 @@ class PipelineResult:
         Number of packets processed (after clipping), summed over chunks.
     streamed:
         Whether the run used the chunked streaming executor.
+    monitor:
+        Whether the run evaluated through the monitor-in-the-loop
+        accounting engine (see :meth:`Pipeline.with_monitor
+        <repro.pipeline.pipeline.Pipeline.with_monitor>`).
+    max_flows:
+        The monitor's flow-memory bound (``None`` when unbounded or not
+        in monitor mode).
+    evictions:
+        Monitor mode only: sampler label -> smallest-flow eviction
+        count of each independent run, in run order.
     """
 
     flow_definition: str
@@ -65,6 +75,9 @@ class PipelineResult:
     flows_per_bin: float = 0.0
     total_packets: int = 0
     streamed: bool = False
+    monitor: bool = False
+    max_flows: int | None = None
+    evictions: dict[str, list[int]] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -165,6 +178,9 @@ class PipelineResult:
             "flows_per_bin": self.flows_per_bin,
             "total_packets": self.total_packets,
             "streamed": self.streamed,
+            "monitor": self.monitor,
+            "max_flows": self.max_flows,
+            "evictions": {label: list(runs) for label, runs in self.evictions.items()},
             "samplers": [
                 {"label": s.label, "effective_rate": s.effective_rate} for s in self.samplers
             ],

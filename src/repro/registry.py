@@ -18,6 +18,13 @@ CLI flag) and parsed with :func:`parse_spec`:
 >>> parse_spec("bernoulli:rate=0.01")
 ('bernoulli', {'rate': 0.01})
 
+Nameless option lists (the value of flags such as ``repro run
+--monitor max_flows=4096``) use the same syntax without the leading
+name and are parsed with :func:`parse_kwargs`:
+
+>>> parse_kwargs("max_flows=4096")
+{'max_flows': 4096}
+
 Spec round-tripping is exact: samplers echo their canonical spec in
 their ``spec`` attribute (which is also their report ``name``), so the
 labels printed by ``repro run`` can be pasted straight back into a
@@ -50,7 +57,7 @@ from .sampling.bernoulli import BernoulliSampler
 from .sampling.periodic import PeriodicSampler
 from .sampling.sample_and_hold import SampleAndHoldSampler
 from .sampling.stratified import HashFlowSampler
-from .spec import format_spec, parse_spec
+from .spec import format_spec, parse_kwargs, parse_spec
 from .traces.synthetic import SyntheticTraceGenerator, abilene_like_config, sprint_like_config
 
 
@@ -296,6 +303,7 @@ __all__ = [
     "UnknownComponentError",
     "accepts_rng",
     "parse_spec",
+    "parse_kwargs",
     "format_spec",
     "SAMPLERS",
     "KEY_POLICIES",

@@ -13,6 +13,9 @@ needs:
   (unsampled) packet counts;
 * for every packet of the bin, the position of its group in the bin's
   group array, so that a sampled-count vector is a single ``bincount``.
+
+The bin segmentation itself is shared with the columnar accounting
+engine (:func:`repro.flows.accounting.bin_segments`).
 """
 
 from __future__ import annotations
@@ -21,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..flows.accounting import bin_segments
 from ..flows.packets import PacketBatch
 
 
@@ -108,14 +112,12 @@ def build_bin_layouts(
         raise ValueError("group_of_flow is too short for the flow ids present in the batch")
 
     bin_of_packet = np.floor_divide(batch.timestamps, bin_duration).astype(np.int64)
-    boundaries = np.flatnonzero(np.diff(bin_of_packet)) + 1
-    starts = np.concatenate(([0], boundaries))
-    ends = np.concatenate((boundaries, [len(batch)]))
+    bins, bounds = bin_segments(bin_of_packet)
 
     layouts: list[BinLayout] = []
     packet_groups_all = groups[batch.flow_ids]
-    for lo, hi in zip(starts, ends):
-        bin_index = int(bin_of_packet[lo])
+    for segment, (lo, hi) in enumerate(zip(bounds[:-1], bounds[1:])):
+        bin_index = int(bins[segment])
         packet_groups = packet_groups_all[lo:hi]
         group_keys, positions, counts = np.unique(
             packet_groups, return_inverse=True, return_counts=True

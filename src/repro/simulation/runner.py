@@ -71,6 +71,11 @@ class SimulationConfig:
         sampling.
     evaluate_ranking, evaluate_detection:
         Which problems to evaluate (both by default).
+    max_flows:
+        When set, evaluate through the monitor-in-the-loop accounting
+        engine with this flow-memory bound (smallest-flow eviction), so
+        the metrics include the bounded-memory error.  ``None`` (the
+        default) keeps the idealised unlimited-memory evaluation.
     """
 
     bin_duration: float = 60.0
@@ -81,6 +86,7 @@ class SimulationConfig:
     seed: int | None = None
     evaluate_ranking: bool = True
     evaluate_detection: bool = True
+    max_flows: int | None = None
 
     def __post_init__(self) -> None:
         if self.bin_duration <= 0:
@@ -96,6 +102,8 @@ class SimulationConfig:
             raise ValueError("num_runs must be at least 1")
         if not (self.evaluate_ranking or self.evaluate_detection):
             raise ValueError("at least one of ranking/detection must be evaluated")
+        if self.max_flows is not None and self.max_flows < 1:
+            raise ValueError("max_flows must be at least 1 when given")
 
 
 def _warn_deprecated(name: str) -> None:
@@ -195,6 +203,8 @@ def run_trace_simulation(
         )
         .materialised()
     )
+    if config.max_flows is not None:
+        pipeline.with_monitor(config.max_flows)
     if packet_rng is not None:
         pipeline.with_packet_rng(packet_rng)
     return pipeline.run().to_simulation_result()

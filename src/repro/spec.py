@@ -108,16 +108,31 @@ def parse_spec(spec: str) -> tuple[str, dict[str, object]]:
     name = name.strip()
     if not name:
         raise ValueError(f"component spec {spec!r} has no name")
+    return name, parse_kwargs(arg_text)
+
+
+def parse_kwargs(text: str) -> dict[str, object]:
+    """Parse a bare ``key=value,key=value`` argument list (a nameless spec).
+
+    The argument half of :func:`parse_spec`, exposed for flags that
+    carry options without a component name (e.g. ``repro run --monitor
+    max_flows=4096``).  Values follow the same literal-parsing rules.
+
+    >>> parse_kwargs("max_flows=4096,mode=strict")
+    {'max_flows': 4096, 'mode': 'strict'}
+    >>> parse_kwargs("")
+    {}
+    """
     kwargs: dict[str, object] = {}
-    if arg_text.strip():
-        for item in _split_arguments(arg_text):
+    if text.strip():
+        for item in _split_arguments(text):
             key, sep, value = item.partition("=")
             if not sep or not key.strip():
                 raise ValueError(
-                    f"malformed argument {item!r} in spec {spec!r}; expected key=value"
+                    f"malformed argument {item!r} in {text!r}; expected key=value"
                 )
             kwargs[key.strip()] = _parse_value(value.strip())
-    return name, kwargs
+    return kwargs
 
 
 def _format_value(value: object) -> str:
@@ -177,4 +192,4 @@ def format_spec(name: str, kwargs: dict[str, object] | None = None) -> str:
     return f"{name}:{rendered}"
 
 
-__all__ = ["parse_spec", "format_spec"]
+__all__ = ["parse_spec", "parse_kwargs", "format_spec"]

@@ -60,6 +60,39 @@ class TestRunCommand:
         assert "bernoulli:rate=0.5" in output
         assert "ranking" in output and "detection" in output
 
+    def test_run_monitor_mode(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--runs", "2",
+                "--monitor", "max_flows=16",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "monitor-in-the-loop (max_flows = 16)" in output
+        assert "mean evictions per run" in output
+
+    def test_run_monitor_unbounded_flag(self, capsys):
+        assert main(
+            [
+                "run",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--runs", "1",
+                "--monitor",
+            ]
+        ) == 0
+        assert "monitor-in-the-loop (unbounded)" in capsys.readouterr().out
+
+    def test_run_monitor_rejects_unknown_option(self, capsys):
+        assert main(["run", "--monitor", "max_memory=4096"]) == 2
+        assert "max_flows" in capsys.readouterr().err
+
     def test_run_multiple_samplers(self, capsys):
         main(
             [

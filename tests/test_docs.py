@@ -49,7 +49,7 @@ def _registry_tables() -> dict[str, list[tuple[str, list[str]]]]:
 
 class TestDocsTree:
     @pytest.mark.parametrize(
-        "page", ["architecture.md", "pipeline.md", "registry.md", "cli.md"]
+        "page", ["architecture.md", "pipeline.md", "flows.md", "registry.md", "cli.md"]
     )
     def test_page_exists_and_is_nonempty(self, page):
         path = DOCS / page
@@ -58,7 +58,7 @@ class TestDocsTree:
 
     def test_readme_links_every_page(self):
         readme = (REPO_ROOT / "README.md").read_text()
-        for page in ("architecture.md", "pipeline.md", "registry.md", "cli.md"):
+        for page in ("architecture.md", "pipeline.md", "flows.md", "registry.md", "cli.md"):
             assert f"docs/{page}" in readme, f"README does not link docs/{page}"
 
 
