@@ -2,9 +2,10 @@
 """Performance harness for the ``repro.pipeline`` execution engine.
 
 Times the representative workloads of the library — packet expansion,
-the paper's (sampler x run) sweep in serial and in parallel, and the
-streaming executor at several chunk sizes — and writes the measurements
-to ``BENCH_pipeline.json`` at the repository root, so that every future
+the paper's (sampler x run) sweep in serial and in parallel, the
+streaming executor at several chunk sizes, and the source throughput of
+every registered workload scenario — and writes the measurements to
+``BENCH_pipeline.json`` at the repository root, so that every future
 optimisation PR has a recorded trajectory to beat.
 
 Run it from the repository root (no pytest involved)::
@@ -75,19 +76,43 @@ def bench_expansion(args: argparse.Namespace) -> dict:
     """Throughput of the chunked packet expansion alone."""
     plan = _pipeline(args).plan()
     def consume() -> int:
-        return sum(len(chunk) for chunk in _iter(plan))
-    def _iter(plan):
-        from repro.pipeline.executor import iter_expanded_chunks
-        return iter_expanded_chunks(
-            plan.trace, plan._expand_rng(), chunk_packets=plan.chunk_packets,
-            clip_to_duration=plan.clip_to_duration,
-        )
+        chunks = plan.source.iter_chunks(plan._expand_rng(), chunk_packets=plan.chunk_packets)
+        return sum(len(chunk) for chunk in chunks)
     seconds, packets = _timed(consume)
     return {
         "seconds": round(seconds, 4),
         "packets": packets,
         "packets_per_second": round(packets / seconds) if seconds else None,
     }
+
+
+def bench_scenarios(args: argparse.Namespace) -> dict:
+    """Source throughput of every registered workload scenario.
+
+    Builds each scenario at the harness scale and times one full pass
+    over its chunked stream — the cost of the source layer alone
+    (expansion + merge + transforms), before any sampling.
+    """
+    from repro.scenarios import SCENARIOS
+
+    results: dict[str, dict] = {}
+    for name in SCENARIOS.names():
+        source = SCENARIOS.create(
+            name, scale=args.scale, duration=args.duration,
+            rng=np.random.default_rng(args.seed),
+        )
+        def consume() -> int:
+            chunks = source.iter_chunks(
+                np.random.default_rng(args.seed), chunk_packets=DEFAULT_CHUNK_PACKETS
+            )
+            return sum(len(chunk) for chunk in chunks)
+        seconds, packets = _timed(consume)
+        results[name] = {
+            "packets": packets,
+            "seconds": round(seconds, 4),
+            "packets_per_second": round(packets / seconds) if seconds else None,
+        }
+    return results
 
 
 def bench_sweep(args: argparse.Namespace) -> dict:
@@ -292,6 +317,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"streaming   ... ", end="", flush=True)
     report["results"]["streaming"] = streaming = bench_streaming(args)
     print(", ".join(f"{key}={value}s" for key, value in streaming.items()))
+
+    print(f"scenarios   ... ", end="", flush=True)
+    report["results"]["scenarios"] = scenarios = bench_scenarios(args)
+    print(
+        ", ".join(
+            f"{name}={entry['packets_per_second']:,} pkt/s" for name, entry in scenarios.items()
+        )
+    )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

@@ -16,7 +16,11 @@ Subpackages
     Packet and flow samplers (Bernoulli, periodic, smart, heavy-hitter
     baselines).
 ``repro.traces``
-    Synthetic flow-level and packet-level traces.
+    Synthetic flow-level and packet-level traces, and the streaming
+    ``PacketSource`` abstraction the pipeline executes.
+``repro.scenarios``
+    Named workload scenarios (steady, diurnal, burst, churn,
+    multilink) composed from packet sources.
 ``repro.simulation``
     Trace-driven sampling simulations (Section 8 of the paper).
 ``repro.inversion``
@@ -56,8 +60,9 @@ from .core import (
 from .distributions import ParetoFlowSizes
 from .pipeline import Pipeline, PipelineResult
 from .registry import DISTRIBUTIONS, KEY_POLICIES, SAMPLERS, TRACES, parse_spec
+from .scenarios import SCENARIOS
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -75,5 +80,6 @@ __all__ = [
     "KEY_POLICIES",
     "DISTRIBUTIONS",
     "TRACES",
+    "SCENARIOS",
     "parse_spec",
 ]

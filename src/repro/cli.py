@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Four subcommands cover the workflows the library supports:
+Five subcommands cover the workflows the library supports:
 
 * ``run`` — run an arbitrary pipeline built from registry specs
   (``repro run --sampler bernoulli:rate=0.01 --trace sprint --bin 60
-  --top 10``); the workhorse for custom scenarios;
+  --top 10``); ``--scenario burst:factor=20`` streams a named workload
+  from the scenario registry instead of a plain trace;
+* ``scenarios`` — list the named workload scenarios and their
+  parameters (``repro scenarios``);
 * ``figure`` — regenerate the data behind one figure of the paper and
   print it as a text table (``repro figure fig04``);
 * ``plan`` — compute the sampling rate required to rank or detect the
@@ -31,6 +34,7 @@ list; ``docs/cli.md`` is the complete reference with examples.
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from collections.abc import Sequence
 
@@ -53,6 +57,7 @@ from .registry import (
     parse_kwargs,
     parse_spec,
 )
+from .scenarios import SCENARIOS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -67,8 +72,17 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument(
         "--trace",
-        default="sprint",
-        help="trace spec, e.g. sprint or abilene:sigma=1.2 (see --list-components)",
+        default=None,
+        help="trace spec, e.g. sprint or abilene:sigma=1.2 (default sprint; "
+        "see --list-components)",
+    )
+    run.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SPEC",
+        help="stream a named workload instead of a plain trace, e.g. "
+        "burst:factor=20 or multilink:links=4 (see `repro scenarios`); "
+        "conflicts with --trace",
     )
     run.add_argument(
         "--sampler",
@@ -122,6 +136,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-components",
         action="store_true",
         help="print the registered component names and exit",
+    )
+
+    subparsers.add_parser(
+        "scenarios", help="list the named workload scenarios and their parameters"
     )
 
     figure = subparsers.add_parser("figure", help="regenerate one figure of the paper")
@@ -181,28 +199,57 @@ def _list_components() -> str:
         ("flow-key policies", KEY_POLICIES),
         ("distributions", DISTRIBUTIONS),
         ("traces", TRACES),
+        ("scenarios", SCENARIOS),
     ):
         lines.append(f"  {title}: {', '.join(registry.names())}")
+    return "\n".join(lines)
+
+
+def _list_scenarios() -> str:
+    """Render the scenario registry: name, parameters, one-line description."""
+    lines = ["named workload scenarios (run with `repro run --scenario name:key=value,...`):"]
+    for name in SCENARIOS.names():
+        factory = SCENARIOS.get(name)
+        parameters = [
+            parameter.name
+            if parameter.default is inspect.Parameter.empty
+            else f"{parameter.name}={parameter.default!r}"
+            for parameter in inspect.signature(factory).parameters.values()
+            if parameter.name != "rng" and parameter.kind is not inspect.Parameter.VAR_KEYWORD
+        ]
+        doc_lines = (inspect.getdoc(factory) or "").splitlines()
+        summary = doc_lines[0] if doc_lines else "(no description)"
+        lines.append(f"  {name}({', '.join(parameters)})")
+        lines.append(f"      {summary}")
     return "\n".join(lines)
 
 
 def _run_pipeline(args: argparse.Namespace) -> str:
     if args.list_components:
         return _list_components()
-    # --scale/--duration are defaults; an explicit value inside the
-    # --trace spec (e.g. sprint:scale=0.05) wins.
-    trace_name, trace_kwargs = parse_spec(args.trace)
-    trace_kwargs.setdefault("scale", args.scale)
-    trace_kwargs.setdefault("duration", args.duration)
     pipeline = (
         Pipeline()
-        .with_trace(trace_name, **trace_kwargs)
         .with_key_policy(args.key)
         .with_bin_duration(args.bin)
         .with_top(args.top)
         .with_runs(args.runs)
         .with_seed(args.seed)
     )
+    if args.scenario is not None:
+        if args.trace is not None:
+            raise ValueError("--scenario and --trace are mutually exclusive")
+        # --scale/--duration are defaults; an explicit value inside the
+        # --scenario spec (e.g. burst:duration=300) wins.
+        scenario_name, scenario_kwargs = parse_spec(args.scenario)
+        scenario_kwargs.setdefault("scale", args.scale)
+        scenario_kwargs.setdefault("duration", args.duration)
+        pipeline.with_scenario(scenario_name, **scenario_kwargs)
+    else:
+        # Same precedence for the --trace spec (e.g. sprint:scale=0.05).
+        trace_name, trace_kwargs = parse_spec(args.trace or "sprint")
+        trace_kwargs.setdefault("scale", args.scale)
+        trace_kwargs.setdefault("duration", args.duration)
+        pipeline.with_trace(trace_name, **trace_kwargs)
     for spec in args.sampler if args.sampler else ["bernoulli:rate=0.01"]:
         pipeline.with_sampler(spec)
     if args.materialised:
@@ -277,6 +324,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         except (UnknownComponentError, ValueError, TypeError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+    elif args.command == "scenarios":
+        output = _list_scenarios()
     elif args.command == "figure":
         output = _run_figure(args.name, jobs=args.jobs)
     elif args.command == "plan":

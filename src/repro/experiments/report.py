@@ -75,6 +75,8 @@ def render_pipeline_result(result: PipelineResult) -> str:
             f"{result.total_packets:,} packets"
         )
     ]
+    if result.scenario:
+        lines.append(f"scenario: {result.scenario} — {result.source}")
     if result.monitor:
         bound = "unbounded" if result.max_flows is None else f"max_flows = {result.max_flows:,}"
         evictions = ", ".join(

@@ -1,11 +1,13 @@
-"""Composable experiment pipeline: trace -> sampler -> classifier -> evaluator.
+"""Composable experiment pipeline: source -> sampler -> classifier -> evaluator.
 
 This package is the one public way to run any experiment of the
 reproduction.  See :class:`Pipeline` for the facade,
-:mod:`repro.registry` for the string-keyed component registries,
-:mod:`repro.pipeline.executor` for the streaming execution engine, and
-:mod:`repro.pipeline.parallel` for the multi-process dispatch of the
-independent (sampler, run) cells.
+:mod:`repro.traces.source` for the streaming :class:`PacketSource`
+abstraction the executor consumes, :mod:`repro.scenarios` for the named
+workloads, :mod:`repro.registry` for the string-keyed component
+registries, :mod:`repro.pipeline.executor` for the streaming execution
+engine, and :mod:`repro.pipeline.parallel` for the multi-process
+dispatch of the independent (sampler, run) cells.
 """
 
 from .executor import (

@@ -55,124 +55,21 @@ True
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+from collections.abc import Iterable
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..flows.accounting import BinAccount, FlowAccountingEngine, bin_segments
-from ..flows.packets import DEFAULT_PACKET_SIZE_BYTES, PacketBatch
+from ..flows.packets import PacketBatch
 from ..sampling.base import PacketSampler
 from ..simulation.evaluation import swapped_pair_counts
 from ..simulation.results import MetricSeries
-from ..traces.flow_trace import FlowLevelTrace
 
-#: Default number of packets per streaming chunk.  Large enough to keep
-#: the per-chunk NumPy work efficient, small enough that a chunk is a
-#: rounding error next to a backbone-scale packet trace.
-DEFAULT_CHUNK_PACKETS = 1 << 18
-
-
-def iter_expanded_chunks(
-    trace: FlowLevelTrace,
-    rng: np.random.Generator,
-    chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
-    clip_to_duration: float | None = None,
-    packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
-) -> Iterator[PacketBatch]:
-    """Expand a flow-level trace into time-ordered packet chunks.
-
-    Flows are admitted in start-time order; each flow's packets are
-    placed uniformly over its lifetime exactly as
-    :func:`repro.traces.expansion.expand_to_packets` does, at the moment
-    the flow is admitted.  Packets that fall beyond the start of the
-    next unadmitted flow are buffered (no earlier packet can still
-    arrive), and each emitted chunk is sorted by timestamp — so the
-    concatenation of all chunks is the globally time-sorted packet
-    stream, independent of the chunk size.
-
-    Only the current chunk and the buffered tails of admitted flows are
-    in memory at any time; with ``chunk_packets=None`` everything is
-    admitted at once (materialised mode).
-
-    Parameters
-    ----------
-    trace:
-        The flow-level trace to expand.
-    rng:
-        Generator for the packet placements; consumed in flow
-        start-time order, so the draw sequence — and therefore the
-        packet stream — is identical for every chunk size.
-    chunk_packets:
-        Approximate packets per emitted chunk; ``None`` materialises
-        the whole trace as one chunk.
-    clip_to_duration:
-        When given, packets at or beyond this time are dropped (flow
-        tails that spill past the measurement window).
-    packet_size_bytes:
-        Constant per-packet size recorded in the emitted batches.
-
-    Yields
-    ------
-    PacketBatch
-        Time-sorted packet chunks whose concatenation is the global
-        time-sorted stream.
-    """
-    num_flows = trace.num_flows
-    if num_flows == 0:
-        return
-    if chunk_packets is not None and chunk_packets < 1:
-        raise ValueError("chunk_packets must be positive when given")
-
-    # Admission (and RNG draw) order is start-time order, so the draw
-    # sequence is the same for every chunk size.
-    order = np.argsort(trace.start_times, kind="stable").astype(np.int64)
-    starts = trace.start_times[order]
-    durations = trace.durations[order]
-    sizes = trace.sizes_packets[order]
-    cumulative = np.cumsum(sizes)
-    total_packets = int(cumulative[-1])
-    target = total_packets if chunk_packets is None else int(chunk_packets)
-
-    pending_ts = np.empty(0, dtype=np.float64)
-    pending_ids = np.empty(0, dtype=np.int64)
-    lo = 0
-    while lo < num_flows or pending_ts.size:
-        if lo < num_flows:
-            # Admit the next block of flows (~target packets, at least one flow).
-            base = int(cumulative[lo - 1]) if lo else 0
-            hi = int(np.searchsorted(cumulative, base + target, side="right"))
-            hi = max(hi, lo + 1)
-            block_sizes = sizes[lo:hi]
-            count = int(cumulative[hi - 1]) - base
-            flow_ids = np.repeat(order[lo:hi], block_sizes)
-            flow_starts = np.repeat(starts[lo:hi], block_sizes)
-            flow_durations = np.repeat(durations[lo:hi], block_sizes)
-            timestamps = flow_starts + rng.random(count) * flow_durations
-            if clip_to_duration is not None:
-                keep = timestamps < clip_to_duration
-                timestamps = timestamps[keep]
-                flow_ids = flow_ids[keep]
-            pending_ts = np.concatenate((pending_ts, timestamps))
-            pending_ids = np.concatenate((pending_ids, flow_ids))
-            lo = hi
-            frontier = float(starts[lo]) if lo < num_flows else np.inf
-        else:
-            frontier = np.inf
-
-        # Packets before the next flow's start time are final: every
-        # not-yet-admitted flow starts (and therefore transmits) later.
-        emit = pending_ts < frontier
-        if emit.any():
-            emit_ts = pending_ts[emit]
-            emit_ids = pending_ids[emit]
-            pending_ts = pending_ts[~emit]
-            pending_ids = pending_ids[~emit]
-            sort = np.argsort(emit_ts, kind="stable")
-            emit_ts = emit_ts[sort]
-            emit_ids = emit_ids[sort]
-            sizes_bytes = np.full(emit_ts.size, packet_size_bytes, dtype=np.int32)
-            yield PacketBatch(emit_ts, emit_ids, sizes_bytes)
+# The chunked expansion now lives with the PacketSource abstraction in
+# repro.traces.source; re-exported here because this module is its
+# historical home and the execution engine's public namespace.
+from ..traces.source import DEFAULT_CHUNK_PACKETS, iter_expanded_chunks
 
 
 class _BinState:

@@ -47,8 +47,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..traces.flow_trace import FlowLevelTrace
-from .executor import StreamOutcome, iter_expanded_chunks, run_stream
+from ..traces.source import PacketSource
+from .executor import StreamOutcome, run_stream
 
 #: Backend names accepted by :meth:`ExecutionPlan.execute`.
 BACKENDS = ("auto", "serial", "process")
@@ -89,7 +89,7 @@ class ExecutionPlan:
     """The independent cells of one pipeline run, ready to dispatch.
 
     An :class:`ExecutionPlan` is a fully resolved description of the
-    work: the flow-level trace, the flow-group mapping, the expansion
+    work: the packet source, the flow-group mapping, the stream
     entropy, and one :class:`Cell` per (sampler spec, run) stream.  It
     is built by :meth:`repro.pipeline.Pipeline.plan` and consumed by
     :meth:`execute`; it is also the natural unit to inspect when
@@ -97,26 +97,31 @@ class ExecutionPlan:
 
     Attributes
     ----------
-    trace:
-        The resolved flow-level trace (shared by every cell).
+    source:
+        The resolved :class:`~repro.traces.source.PacketSource` every
+        cell streams (a :class:`~repro.traces.source.FlowTraceSource`
+        for classic ``with_trace`` pipelines, any composed source for
+        scenario workloads).
     groups:
         Flow id to flow-group mapping under the chosen flow definition.
     expand_entropy:
-        Source of the packet-placement draws: a ``SeedSequence`` child
-        of the pipeline seed, or a caller-supplied generator/seed (see
+        Source of the stream's randomness (packet placement etc.): a
+        ``SeedSequence`` child of the pipeline seed, or a
+        caller-supplied generator/seed (see
         :meth:`repro.pipeline.Pipeline.with_packet_rng`).  Every batch
-        derives a *fresh* generator from it, so the expansion is
+        derives a *fresh* generator from it, so the stream is
         bit-identical in every worker.
     sampler_specs:
         The pipeline's sampler specs, indexed by ``Cell.spec_index``.
     cells:
         One cell per independent stream, in stream order.
-    bin_duration, top_t, chunk_packets, clip_to_duration:
+    bin_duration, top_t, chunk_packets:
         Evaluation parameters, as in :func:`run_stream` and
-        :func:`iter_expanded_chunks`.
+        :meth:`PacketSource.iter_chunks
+        <repro.traces.source.PacketSource.iter_chunks>`.
     """
 
-    trace: FlowLevelTrace
+    source: PacketSource
     groups: np.ndarray
     expand_entropy: np.random.SeedSequence | np.random.Generator | int
     sampler_specs: list
@@ -124,9 +129,17 @@ class ExecutionPlan:
     bin_duration: float
     top_t: int
     chunk_packets: int | None
-    clip_to_duration: float | None
 
     # ------------------------------------------------------------------
+    @property
+    def trace(self):
+        """The flow-level trace behind the source, when there is one.
+
+        ``None`` for packet-level and composed sources; kept for
+        callers that predate the :class:`PacketSource` abstraction.
+        """
+        return getattr(self.source, "trace", None)
+
     @property
     def num_cells(self) -> int:
         """Number of independent (sampler spec, run) streams."""
@@ -137,9 +150,11 @@ class ExecutionPlan:
         """Total per-packet sampling decisions: packets x cells.
 
         The quantity the ``"auto"`` backend compares against
-        :data:`AUTO_PROCESS_MIN_WORK`.
+        :data:`AUTO_PROCESS_MIN_WORK`.  Sources that cannot predict
+        their packet count report zero work, which keeps ``"auto"``
+        dispatch serial unless an explicit job count asks otherwise.
         """
-        return int(self.trace.total_packets) * self.num_cells
+        return int(self.source.expected_packets or 0) * self.num_cells
 
     def batches(self, count: int) -> list[list[int]]:
         """Split the cell indices into ``count`` contiguous batches.
@@ -168,7 +183,7 @@ class ExecutionPlan:
         serial for them, the ``"process"`` backend raises.
         """
         try:
-            pickle.dumps((self.sampler_specs, self.expand_entropy))
+            pickle.dumps((self.sampler_specs, self.expand_entropy, self.source))
         except Exception:
             return False
         return True
@@ -256,10 +271,10 @@ class ExecutionPlan:
 def _run_cell_batch(
     plan: ExecutionPlan, cell_indices: list[int]
 ) -> tuple[list[int], StreamOutcome]:
-    """Evaluate one batch of cells against a freshly replayed expansion.
+    """Evaluate one batch of cells against a freshly replayed stream.
 
     This is the worker entry point of the process backend (and, with a
-    single batch of all cells, the whole serial backend).  The expansion
+    single batch of all cells, the whole serial backend).  The stream
     generator is re-derived from the plan's entropy, so every batch sees
     the same packet stream; each cell's sampler comes from the cell's
     own seed, so the rows it produces do not depend on which batch (or
@@ -282,12 +297,7 @@ def _run_cell_batch(
         plan.sampler_specs[cell.spec_index].build(np.random.default_rng(cell.seed))
         for cell in cells
     ]
-    chunks = iter_expanded_chunks(
-        plan.trace,
-        plan._expand_rng(),
-        chunk_packets=plan.chunk_packets,
-        clip_to_duration=plan.clip_to_duration,
-    )
+    chunks = plan.source.iter_chunks(plan._expand_rng(), chunk_packets=plan.chunk_packets)
     outcome = run_stream(chunks, plan.groups, samplers, plan.bin_duration, plan.top_t)
     return [cell.stream_index for cell in cells], outcome
 

@@ -3,7 +3,21 @@
 A pipeline composes the four stages every workload in this repository
 needs::
 
-    TraceSource -> PacketSampler(s) -> FlowClassifier -> Evaluator
+    PacketSource -> PacketSampler(s) -> FlowClassifier -> Evaluator
+
+The first stage is any :class:`~repro.traces.source.PacketSource`:
+``with_trace`` wraps the classic flow-trace expansion, ``with_source``
+accepts an arbitrary source (merged multi-link streams, packet files,
+load/time transforms), and ``with_scenario`` pulls a named workload
+from :data:`repro.scenarios.SCENARIOS`::
+
+    result = (
+        Pipeline()
+        .with_scenario("burst", scale=0.002, duration=120.0, factor=20)
+        .with_sampler("bernoulli", rate=0.1)
+        .with_seed(0)
+        .run()
+    )
 
 and is built either fluently::
 
@@ -52,12 +66,13 @@ import numpy as np
 from ..flows.keys import FlowKeyPolicy
 from ..registry import KEY_POLICIES, SAMPLERS, TRACES, accepts_rng, parse_spec
 from ..sampling.base import PacketSampler
+from ..scenarios import SCENARIOS
 from ..traces.flow_trace import FlowLevelTrace
+from ..traces.source import FlowTraceSource, PacketSource
 from ..traces.synthetic import SyntheticTraceGenerator
 from .executor import (
     DEFAULT_CHUNK_PACKETS,
     MonitorOutcome,
-    iter_expanded_chunks,
     metric_series_for_stream,
     run_monitor_stream,
 )
@@ -106,6 +121,11 @@ class Pipeline:
         self._trace_name: str | None = None
         self._trace_kwargs: dict = {}
         self._generator: SyntheticTraceGenerator | None = None
+        self._source: PacketSource | None = None
+        self._source_factory: Callable[..., PacketSource] | None = None
+        self._source_kwargs: dict = {}
+        self._scenario_name: str | None = None
+        self._scenario_kwargs: dict = {}
         self._samplers: list[SamplerSpec] = []
         self._key_policy: FlowKeyPolicy | None = None
         self._key_name: str = "five-tuple"
@@ -144,8 +164,7 @@ class Pipeline:
         Pipeline
             ``self``, for chaining.
         """
-        self._trace = self._generator = self._trace_name = None
-        self._trace_kwargs = {}
+        self._clear_stream_config()
         if isinstance(trace, FlowLevelTrace):
             if kwargs:
                 raise ValueError("keyword arguments are only valid with a trace name")
@@ -158,6 +177,81 @@ class Pipeline:
             if kwargs:
                 raise ValueError("keyword arguments are only valid with a trace name")
             self._generator = trace
+        return self
+
+    def _clear_stream_config(self) -> None:
+        """Reset every way of saying where the packets come from."""
+        self._trace = self._generator = self._trace_name = None
+        self._trace_kwargs = {}
+        self._source = self._source_factory = self._scenario_name = None
+        self._source_kwargs = {}
+        self._scenario_kwargs = {}
+
+    def with_source(
+        self,
+        source: PacketSource | Callable[..., PacketSource] | str,
+        **kwargs,
+    ) -> "Pipeline":
+        """Stream packets from any :class:`~repro.traces.source.PacketSource`.
+
+        This is the general form of :meth:`with_trace` (which is now a
+        thin adapter wrapping the trace in a
+        :class:`~repro.traces.source.FlowTraceSource`): merged
+        multi-link streams, packet-level files, load/time transforms
+        and scenario compositions all plug in here without the executor
+        knowing the difference.
+
+        Parameters
+        ----------
+        source:
+            A concrete :class:`~repro.traces.source.PacketSource`, a
+            factory callable returning one (given ``rng`` when it
+            accepts the keyword), or a scenario spec string such as
+            ``"burst:factor=20"`` (equivalent to
+            :meth:`with_scenario`).
+        **kwargs:
+            Extra factory/scenario arguments; only valid with a
+            callable or a spec string.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
+        if isinstance(source, str):
+            return self.with_scenario(source, **kwargs)
+        self._clear_stream_config()
+        if isinstance(source, PacketSource):
+            if kwargs:
+                raise ValueError("keyword arguments are only valid with a factory or spec")
+            self._source = source
+        elif callable(source):
+            self._source_factory = source
+            self._source_kwargs = dict(kwargs)
+        else:
+            raise TypeError(f"cannot interpret {source!r} as a packet source")
+        return self
+
+    def with_scenario(self, scenario: str, **kwargs) -> "Pipeline":
+        """Stream one of the named workloads of :data:`repro.scenarios.SCENARIOS`.
+
+        Parameters
+        ----------
+        scenario:
+            Scenario name or spec, e.g. ``"diurnal"`` or
+            ``"burst:factor=20,start=120"``.
+        **kwargs:
+            Extra scenario arguments, merged over the spec's.
+
+        Returns
+        -------
+        Pipeline
+            ``self``, for chaining.
+        """
+        name, spec_kwargs = parse_spec(scenario)
+        self._clear_stream_config()
+        self._scenario_name = name
+        self._scenario_kwargs = {**spec_kwargs, **kwargs}
         return self
 
     def with_sampler(
@@ -426,6 +520,7 @@ class Pipeline:
         chunk_packets: int = DEFAULT_CHUNK_PACKETS,
         monitor: bool = False,
         max_flows: int | None = None,
+        scenario: str | None = None,
     ) -> "Pipeline":
         """Build a pipeline entirely from string specs.
 
@@ -444,6 +539,10 @@ class Pipeline:
         monitor, max_flows:
             Monitor-in-the-loop evaluation (see :meth:`with_monitor`);
             giving ``max_flows`` implies ``monitor=True``.
+        scenario:
+            A :data:`repro.scenarios.SCENARIOS` spec such as
+            ``"burst:factor=20"``; when given it replaces ``trace`` as
+            the packet source.
 
         Returns
         -------
@@ -459,6 +558,8 @@ class Pipeline:
             .with_runs(num_runs)
             .with_seed(seed)
         )
+        if scenario is not None:
+            pipeline.with_scenario(scenario)
         specs = [sampler] if isinstance(sampler, str) else list(sampler)
         for spec in specs:
             pipeline.with_sampler(spec)
@@ -474,8 +575,18 @@ class Pipeline:
     # Execution
     # ------------------------------------------------------------------
     def _validate(self) -> None:
-        if self._trace is None and self._generator is None and self._trace_name is None:
-            raise ValueError("no trace source configured; call with_trace(...)")
+        if (
+            self._trace is None
+            and self._generator is None
+            and self._trace_name is None
+            and self._source is None
+            and self._source_factory is None
+            and self._scenario_name is None
+        ):
+            raise ValueError(
+                "no packet source configured; call with_trace(...), "
+                "with_source(...) or with_scenario(...)"
+            )
         if not self._samplers:
             raise ValueError("no sampler configured; call with_sampler(...)")
         if self._bin_duration <= 0:
@@ -493,6 +604,26 @@ class Pipeline:
             generator = TRACES.create(self._trace_name, **self._trace_kwargs)
         return generator.generate(rng=rng)
 
+    def _resolve_source(self, rng: np.random.Generator) -> PacketSource:
+        """Resolve whatever stream configuration is set into one source.
+
+        The trace path wraps the resolved trace in a
+        :class:`~repro.traces.source.FlowTraceSource` with the
+        historical clipping, so ``with_trace`` pipelines execute the
+        exact packet stream they always have.
+        """
+        if self._source is not None:
+            return self._source
+        if self._source_factory is not None:
+            if accepts_rng(self._source_factory):
+                return self._source_factory(**self._source_kwargs, rng=rng)
+            return self._source_factory(**self._source_kwargs)
+        if self._scenario_name is not None:
+            if SCENARIOS.accepts_rng(self._scenario_name):
+                return SCENARIOS.create(self._scenario_name, **self._scenario_kwargs, rng=rng)
+            return SCENARIOS.create(self._scenario_name, **self._scenario_kwargs)
+        return FlowTraceSource(self._resolve_trace(rng))
+
     def _resolve_key_policy(self) -> FlowKeyPolicy:
         if self._key_policy is not None:
             return self._key_policy
@@ -503,10 +634,10 @@ class Pipeline:
 
         The plan enumerates one :class:`~repro.pipeline.parallel.Cell`
         per independent (sampler spec, run) stream, each with its own
-        ``SeedSequence`` child, over the resolved trace and flow-group
-        mapping.  :meth:`run` is ``plan().execute()`` plus result
-        packaging; call this directly to inspect or dispatch the cells
-        yourself.
+        ``SeedSequence`` child, over the resolved packet source and
+        flow-group mapping.  :meth:`run` is ``plan().execute()`` plus
+        result packaging; call this directly to inspect or dispatch the
+        cells yourself.
 
         Returns
         -------
@@ -527,8 +658,8 @@ class Pipeline:
         else:
             expand_entropy = children[1]
 
-        trace = self._resolve_trace(trace_rng)
-        groups = trace.group_ids(self._resolve_key_policy())
+        source = self._resolve_source(trace_rng)
+        groups = source.group_ids(self._resolve_key_policy())
 
         cells: list[Cell] = []
         for spec_index in range(num_specs):
@@ -543,7 +674,7 @@ class Pipeline:
                     )
                 )
         return ExecutionPlan(
-            trace=trace,
+            source=source,
             groups=groups,
             expand_entropy=expand_entropy,
             sampler_specs=list(self._samplers),
@@ -551,7 +682,6 @@ class Pipeline:
             bin_duration=self._bin_duration,
             top_t=self._top_t,
             chunk_packets=self._chunk_packets,
-            clip_to_duration=trace.duration if trace.duration > 0 else None,
         )
 
     def run(
@@ -601,6 +731,8 @@ class Pipeline:
             streamed=self._chunk_packets is not None,
             monitor=self._monitor,
             max_flows=self._monitor_max_flows if self._monitor else None,
+            source=plan.source.describe(),
+            scenario=self._scenario_name,
         )
         used_labels: set[str] = set()
         for spec_index, spec in enumerate(self._samplers):
@@ -639,20 +771,15 @@ class Pipeline:
         """Run the plan's cells through the monitor-in-the-loop executor.
 
         Samplers are built from the same per-cell seeds the parallel
-        backends use, and the expansion replays from the same entropy —
-        so with ``max_flows=None`` the outcome matches
+        backends use, and the source replays from the same entropy — so
+        with ``max_flows=None`` the outcome matches
         :meth:`ExecutionPlan.execute` bit for bit.
         """
         samplers = [
             plan.sampler_specs[cell.spec_index].build(np.random.default_rng(cell.seed))
             for cell in plan.cells
         ]
-        chunks = iter_expanded_chunks(
-            plan.trace,
-            plan._expand_rng(),
-            chunk_packets=plan.chunk_packets,
-            clip_to_duration=plan.clip_to_duration,
-        )
+        chunks = plan.source.iter_chunks(plan._expand_rng(), chunk_packets=plan.chunk_packets)
         return run_monitor_stream(
             chunks,
             plan.groups,

@@ -63,6 +63,13 @@ class PipelineResult:
     evictions:
         Monitor mode only: sampler label -> smallest-flow eviction
         count of each independent run, in run order.
+    source:
+        One-line description of the executed packet source (see
+        :meth:`PacketSource.describe
+        <repro.traces.source.PacketSource.describe>`).
+    scenario:
+        Name of the :data:`repro.scenarios.SCENARIOS` workload the run
+        streamed, or ``None`` for plain trace/source runs.
     """
 
     flow_definition: str
@@ -78,6 +85,8 @@ class PipelineResult:
     monitor: bool = False
     max_flows: int | None = None
     evictions: dict[str, list[int]] = field(default_factory=dict)
+    source: str | None = None
+    scenario: str | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -180,6 +189,8 @@ class PipelineResult:
             "streamed": self.streamed,
             "monitor": self.monitor,
             "max_flows": self.max_flows,
+            "source": self.source,
+            "scenario": self.scenario,
             "evictions": {label: list(runs) for label, runs in self.evictions.items()},
             "samplers": [
                 {"label": s.label, "effective_rate": s.effective_rate} for s in self.samplers

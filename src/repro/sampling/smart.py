@@ -74,6 +74,24 @@ class SmartFlowSampler:
             raise ValueError("packets must be positive")
         return min(1.0, packets / self.threshold_packets)
 
+    def keep_probabilities(self, sizes: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Vectorised keep probabilities for an array of flow sizes.
+
+        Parameters
+        ----------
+        sizes:
+            Flow sizes in packets (all positive).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``min(1, sizes / z)`` elementwise.
+        """
+        sizes_arr = np.asarray(sizes, dtype=np.float64)
+        if sizes_arr.size and np.any(sizes_arr <= 0):
+            raise ValueError("packets must be positive")
+        return np.minimum(1.0, sizes_arr / self.threshold_packets)
+
     def expected_kept_records(self, sizes: Sequence[float]) -> float:
         """Expected number of records kept for a list of flow sizes.
 
@@ -87,10 +105,15 @@ class SmartFlowSampler:
         float
             Sum of the per-record keep probabilities.
         """
-        return float(sum(self.keep_probability(size) for size in sizes))
+        return float(self.keep_probabilities(sizes).sum())
 
     def sample_records(self, flows: Sequence[FlowSummary]) -> list[SampledFlowRecord]:
         """Apply smart sampling to a list of flow summaries.
+
+        The keep decisions and size estimates are computed as one NumPy
+        expression over the size array (one uniform draw per record, in
+        record order), so collector-scale record lists sample at array
+        speed.
 
         Parameters
         ----------
@@ -103,17 +126,16 @@ class SmartFlowSampler:
             The kept records together with their unbiased size
             estimates ``max(x, z)``.
         """
-        kept: list[SampledFlowRecord] = []
-        for flow in flows:
-            probability = self.keep_probability(flow.packets)
-            if self._rng.random() < probability:
-                kept.append(
-                    SampledFlowRecord(
-                        flow=flow,
-                        estimated_packets=max(float(flow.packets), self.threshold_packets),
-                    )
-                )
-        return kept
+        if not flows:
+            return []
+        sizes = np.asarray([flow.packets for flow in flows], dtype=np.float64)
+        probabilities = self.keep_probabilities(sizes)
+        keep = self._rng.random(len(flows)) < probabilities
+        estimates = np.maximum(sizes, self.threshold_packets)
+        return [
+            SampledFlowRecord(flow=flows[index], estimated_packets=float(estimates[index]))
+            for index in np.flatnonzero(keep)
+        ]
 
     def rank_top(self, flows: Sequence[FlowSummary], count: int) -> list[SampledFlowRecord]:
         """Top ``count`` kept records ranked by estimated size.

@@ -1,0 +1,210 @@
+"""Named traffic scenarios: workloads built from streaming packet sources.
+
+A *scenario* is a named, parameterised workload — a factory that
+composes :mod:`repro.traces.source` building blocks into one
+:class:`~repro.traces.source.PacketSource` the pipeline can execute.
+Scenarios live in the :data:`SCENARIOS` registry, so they are
+constructible from strings the same way samplers and traces are:
+
+>>> import numpy as np
+>>> source = SCENARIOS.create(
+...     "steady", scale=0.002, duration=120.0, rng=np.random.default_rng(0)
+... )
+>>> source.num_flows > 0
+True
+
+and runnable end to end from the CLI (``repro run --scenario
+burst:scale=0.002,duration=120``) or the builder
+(``Pipeline().with_scenario("diurnal", amplitude=0.8)``); ``repro
+scenarios`` lists them.
+
+Built-in scenarios
+------------------
+``steady``
+    The paper's workload: one synthetic backbone trace, constant mean
+    load (the exact stream ``with_trace`` runs).
+``diurnal``
+    The steady workload with its arrival process reshaped by a
+    sinusoidal day/night load curve (:func:`~repro.traces.source.diurnal_warp`).
+``burst``
+    Steady background plus a short amplified heavy-hitter spike aimed
+    at one destination /24 — a DDoS-shaped workload
+    (:class:`~repro.traces.source.MergeSource` +
+    :class:`~repro.traces.source.LoadScaleSource`).
+``churn``
+    The flow population drifts: consecutive phases draw their flows
+    from disjoint destination-prefix pools, merged into one stream.
+``multilink``
+    N independent steady links merged in time order — what a collector
+    monitoring several interfaces sees.
+
+Every scenario factory accepts ``scale`` and ``duration`` (like the
+trace generators) plus its own knobs, and an ``rng`` keyword supplied
+per run by the pipeline.  All scenarios inherit the source contracts:
+time-ordered chunks and chunk-size invariance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .registry import TRACES, Registry
+from .traces.flow_trace import FlowLevelTrace
+from .traces.source import (
+    FlowTraceSource,
+    LoadScaleSource,
+    MergeSource,
+    PacketSource,
+    TimeWarpSource,
+    diurnal_warp,
+)
+
+#: Registry of named workload scenarios (name -> source factory).
+SCENARIOS = Registry("scenario")
+
+
+def _rng_of(rng: np.random.Generator | int | None) -> np.random.Generator:
+    return rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+
+def _steady_source(
+    trace: str,
+    scale: float,
+    duration: float,
+    rng: np.random.Generator,
+    **trace_kwargs,
+) -> FlowTraceSource:
+    generator = TRACES.create(trace, scale=scale, duration=duration, **trace_kwargs)
+    return FlowTraceSource(generator.generate(rng=rng))
+
+
+@SCENARIOS.register("steady")
+def _make_steady(
+    scale: float = 0.01,
+    duration: float = 600.0,
+    trace: str = "sprint",
+    rng: np.random.Generator | int | None = None,
+    **trace_kwargs,
+) -> PacketSource:
+    """Constant mean load from one synthetic backbone trace (the paper's workload)."""
+    return _steady_source(trace, scale, duration, _rng_of(rng), **trace_kwargs)
+
+
+@SCENARIOS.register("diurnal")
+def _make_diurnal(
+    scale: float = 0.01,
+    duration: float = 600.0,
+    amplitude: float = 0.6,
+    period: float | None = None,
+    trace: str = "sprint",
+    rng: np.random.Generator | int | None = None,
+) -> PacketSource:
+    """Steady load reshaped by a sinusoidal day/night curve (rate swings by ±amplitude)."""
+    base = _steady_source(trace, scale, duration, _rng_of(rng))
+    span = base.duration if base.duration > 0 else duration
+    return TimeWarpSource(base, diurnal_warp(span, amplitude=amplitude, period=period))
+
+
+@SCENARIOS.register("burst")
+def _make_burst(
+    scale: float = 0.01,
+    duration: float = 600.0,
+    start: float | None = None,
+    width: float | None = None,
+    factor: float = 8.0,
+    flows: int = 32,
+    packets_per_flow: int = 96,
+    trace: str = "sprint",
+    rng: np.random.Generator | int | None = None,
+) -> PacketSource:
+    """Steady background plus an amplified heavy-hitter spike at one destination /24.
+
+    ``flows`` attack flows of roughly ``packets_per_flow`` packets hit
+    ``10.255.255.0/24`` inside the window ``[start, start + width)``
+    (defaults: the middle third of the trace), and the whole spike is
+    load-scaled by ``factor`` — a DDoS-shaped workload for stress
+    testing detection under sampling.
+    """
+    generator = _rng_of(rng)
+    base_rng, attack_rng = generator.spawn(2)
+    base = _steady_source(trace, scale, duration, base_rng)
+    if start is None:
+        start = duration / 3.0
+    if width is None:
+        width = duration / 6.0
+    if width <= 0:
+        raise ValueError("width must be positive")
+    count = int(flows)
+    if count < 1:
+        raise ValueError("flows must be at least 1")
+    mean = max(int(packets_per_flow), 1)
+    attack = FlowLevelTrace(
+        start_times=start + attack_rng.uniform(0.0, width, size=count),
+        durations=attack_rng.uniform(0.25 * width, width, size=count),
+        sizes_packets=attack_rng.integers(max(mean // 2, 1), 2 * mean, size=count),
+        src_ips=np.uint32(0xC0A80000) + attack_rng.integers(0, 0xFFFF, count, dtype=np.uint32),
+        dst_ips=np.uint32(0x0AFFFF00) + attack_rng.integers(1, 255, count, dtype=np.uint32),
+        src_ports=attack_rng.integers(1024, 65535, count, dtype=np.uint16),
+        dst_ports=np.full(count, 80, dtype=np.uint16),
+        protocols=np.full(count, 17, dtype=np.uint8),
+    )
+    # No clipping: the attack window sits mid-trace, so the "auto" clip
+    # (a span, not an end time) would discard the whole spike.
+    spike = LoadScaleSource(FlowTraceSource(attack, clip_to_duration=None), factor)
+    return MergeSource(base, spike)
+
+
+@SCENARIOS.register("churn")
+def _make_churn(
+    scale: float = 0.01,
+    duration: float = 600.0,
+    phases: int = 3,
+    trace: str = "sprint",
+    rng: np.random.Generator | int | None = None,
+) -> PacketSource:
+    """Flow-population drift: consecutive phases draw flows from disjoint prefix pools."""
+    count = int(phases)
+    if count < 1:
+        raise ValueError("phases must be at least 1")
+    generator = _rng_of(rng)
+    phase_span = duration / count
+    parts = []
+    for phase, child in enumerate(generator.spawn(count)):
+        part = _steady_source(trace, scale, phase_span, child).trace
+        # Shift the phase into its time slot and onto its own /24 pool,
+        # so both the arrival times and the flow population drift.
+        shifted = FlowLevelTrace(
+            start_times=part.start_times + phase * phase_span,
+            durations=part.durations,
+            sizes_packets=part.sizes_packets,
+            src_ips=part.src_ips,
+            dst_ips=part.dst_ips + np.uint32(phase * (4096 << 8)),
+            src_ports=part.src_ports,
+            dst_ports=part.dst_ports,
+            protocols=part.protocols,
+        )
+        # Shifted phases start mid-trace; the "auto" clip is a span, not
+        # an end time, so it would truncate them — let the tails ride.
+        parts.append(FlowTraceSource(shifted, clip_to_duration=None))
+    return MergeSource(*parts)
+
+
+@SCENARIOS.register("multilink")
+def _make_multilink(
+    scale: float = 0.01,
+    duration: float = 600.0,
+    links: int = 3,
+    trace: str = "sprint",
+    rng: np.random.Generator | int | None = None,
+) -> PacketSource:
+    """N independent monitored links merged into one time-ordered stream."""
+    count = int(links)
+    if count < 1:
+        raise ValueError("links must be at least 1")
+    generator = _rng_of(rng)
+    return MergeSource(
+        *[_steady_source(trace, scale, duration, child) for child in generator.spawn(count)]
+    )
+
+
+__all__ = ["SCENARIOS"]

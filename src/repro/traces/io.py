@@ -1,12 +1,19 @@
-"""CSV round-trip for flow-level traces.
+"""File round-trips for traces: flow-level CSV and packet-level CSV/NPZ.
 
 Flow-level traces are small enough (one row per flow) to be exchanged as
 plain CSV, which makes it easy to feed real exported NetFlow-style
 records into the simulation, or to archive the synthetic traces used for
-a given experiment run.
-
-Columns: ``start_time,duration,packets,src_ip,dst_ip,src_port,dst_port,protocol``
+a given experiment run.  Flow-trace columns:
+``start_time,duration,packets,src_ip,dst_ip,src_port,dst_port,protocol``
 with addresses in dotted-quad notation.
+
+Packet-level batches (:class:`~repro.flows.packets.PacketBatch`) round
+trip too — as CSV (``timestamp,flow_id,size_bytes``, human-inspectable)
+or as compressed NPZ (columnar, the format to prefer at scale).  The
+matching streaming sources are
+:class:`~repro.traces.source.CSVPacketSource` and
+:class:`~repro.traces.source.NPZPacketSource`.  Empty batches round
+trip as a header-only CSV / zero-length NPZ arrays.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from pathlib import Path
 import numpy as np
 
 from ..flows.keys import int_to_ip, ip_to_int
+from ..flows.packets import PacketBatch
 from .flow_trace import FlowLevelTrace
 
 _HEADER = [
@@ -95,4 +103,62 @@ def read_flow_trace_csv(path: str | Path) -> FlowLevelTrace:
     )
 
 
-__all__ = ["write_flow_trace_csv", "read_flow_trace_csv"]
+_PACKET_HEADER = ["timestamp", "flow_id", "size_bytes"]
+
+
+def write_packet_batch_csv(batch: PacketBatch, path: str | Path) -> None:
+    """Write a packet batch to a CSV file (one row per packet).
+
+    An empty batch writes just the header row, and
+    :func:`read_packet_batch_csv` reads it back as an empty batch.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_PACKET_HEADER)
+        for ts, flow_id, size in zip(batch.timestamps, batch.flow_ids, batch.sizes_bytes):
+            writer.writerow([repr(float(ts)), int(flow_id), int(size)])
+
+
+def read_packet_batch_csv(path: str | Path) -> PacketBatch:
+    """Read a packet batch from a CSV written by :func:`write_packet_batch_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != _PACKET_HEADER:
+            raise ValueError(f"unexpected packet CSV header in {path}: {header}")
+        rows = [row for row in reader if row]
+    timestamps = np.array([float(row[0]) for row in rows], dtype=np.float64)
+    flow_ids = np.array([int(row[1]) for row in rows], dtype=np.int64)
+    sizes = np.array([int(row[2]) for row in rows], dtype=np.int32)
+    return PacketBatch(timestamps, flow_ids, sizes)
+
+
+def write_packet_batch_npz(batch: PacketBatch, path: str | Path) -> None:
+    """Write a packet batch as a compressed NPZ (columnar) file."""
+    np.savez_compressed(
+        Path(path),
+        timestamps=batch.timestamps,
+        flow_ids=batch.flow_ids,
+        sizes_bytes=batch.sizes_bytes,
+    )
+
+
+def read_packet_batch_npz(path: str | Path) -> PacketBatch:
+    """Read a packet batch from an NPZ written by :func:`write_packet_batch_npz`."""
+    with np.load(Path(path)) as data:
+        missing = {"timestamps", "flow_ids", "sizes_bytes"} - set(data.files)
+        if missing:
+            raise ValueError(f"packet NPZ {path} is missing arrays: {sorted(missing)}")
+        return PacketBatch(data["timestamps"], data["flow_ids"], data["sizes_bytes"])
+
+
+__all__ = [
+    "write_flow_trace_csv",
+    "read_flow_trace_csv",
+    "write_packet_batch_csv",
+    "read_packet_batch_csv",
+    "write_packet_batch_npz",
+    "read_packet_batch_npz",
+]

@@ -183,6 +183,50 @@ class TestRunCommand:
         ) == 2
         assert "--materialised" in capsys.readouterr().err
 
+    def test_run_chunk_packets_is_invariant(self, capsys):
+        """--chunk-packets N streams in smaller chunks with identical output."""
+        args = [
+            "run",
+            "--scale", "0.002",
+            "--duration", "120",
+            "--sampler", "bernoulli:rate=0.5",
+            "--runs", "2",
+            "--seed", "5",
+        ]
+        assert main(args + ["--chunk-packets", "512"]) == 0
+        small_chunks = capsys.readouterr().out
+        assert main(args) == 0
+        default_chunks = capsys.readouterr().out
+        assert small_chunks == default_chunks
+
+    def test_run_scenario(self, capsys):
+        code = main(
+            [
+                "run",
+                "--scenario", "burst:factor=4",
+                "--scale", "0.002",
+                "--duration", "120",
+                "--sampler", "bernoulli:rate=0.5",
+                "--runs", "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "scenario: burst" in output
+        assert "ranking" in output and "detection" in output
+
+    def test_run_scenario_conflicts_with_trace(self, capsys):
+        assert main(
+            ["run", "--scenario", "steady", "--trace", "abilene",
+             "--sampler", "bernoulli:rate=0.5"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_reports_available(self, capsys):
+        assert main(["run", "--scenario", "no-such-scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-scenario" in err and "burst" in err
+
     def test_unknown_sampler_reports_available_names(self, capsys):
         code = main(
             [
@@ -207,6 +251,18 @@ class TestRunCommand:
         assert "bernoulli" in output
         assert "five-tuple" in output
         assert "sprint" in output
+        assert "multilink" in output
+
+
+class TestScenariosCommand:
+    def test_lists_every_registered_scenario(self, capsys):
+        from repro.scenarios import SCENARIOS
+
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in SCENARIOS.names():
+            assert name in output
+        assert "--scenario" in output
 
 
 class TestSimulateCommand:

@@ -15,6 +15,7 @@ from pathlib import Path
 import pytest
 
 from repro.registry import DISTRIBUTIONS, KEY_POLICIES, SAMPLERS, TRACES
+from repro.scenarios import SCENARIOS
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DOCS = REPO_ROOT / "docs"
@@ -25,7 +26,18 @@ SECTION_REGISTRIES = {
     "Flow-key policies": KEY_POLICIES,
     "Flow-size distributions": DISTRIBUTIONS,
     "Trace generators": TRACES,
+    "Scenarios": SCENARIOS,
 }
+
+#: Every page of the docs tree (README must link each one).
+DOC_PAGES = (
+    "architecture.md",
+    "pipeline.md",
+    "traces.md",
+    "flows.md",
+    "registry.md",
+    "cli.md",
+)
 
 
 def _registry_tables() -> dict[str, list[tuple[str, list[str]]]]:
@@ -48,9 +60,7 @@ def _registry_tables() -> dict[str, list[tuple[str, list[str]]]]:
 
 
 class TestDocsTree:
-    @pytest.mark.parametrize(
-        "page", ["architecture.md", "pipeline.md", "flows.md", "registry.md", "cli.md"]
-    )
+    @pytest.mark.parametrize("page", DOC_PAGES)
     def test_page_exists_and_is_nonempty(self, page):
         path = DOCS / page
         assert path.is_file(), f"missing docs page {page}"
@@ -58,7 +68,7 @@ class TestDocsTree:
 
     def test_readme_links_every_page(self):
         readme = (REPO_ROOT / "README.md").read_text()
-        for page in ("architecture.md", "pipeline.md", "flows.md", "registry.md", "cli.md"):
+        for page in DOC_PAGES:
             assert f"docs/{page}" in readme, f"README does not link docs/{page}"
 
 
@@ -103,9 +113,35 @@ class TestRegistryCrossReference:
 class TestCliDocs:
     def test_cli_page_covers_every_subcommand_and_jobs(self):
         text = (DOCS / "cli.md").read_text()
-        for subcommand in ("repro run", "repro figure", "repro plan", "repro simulate"):
+        for subcommand in (
+            "repro run",
+            "repro scenarios",
+            "repro figure",
+            "repro plan",
+            "repro simulate",
+        ):
             assert subcommand in text
         assert "--jobs" in text
+        assert "--scenario" in text
+        assert "--chunk-packets" in text
+
+    def test_documented_scenario_specs_parse(self):
+        """Every scenario spec quoted in the docs resolves to a factory."""
+        from repro.registry import parse_spec
+
+        names = "|".join(SCENARIOS.names())
+        spec_pattern = re.compile(rf"`((?:{names}):[^`]+)`")
+        for page in DOC_PAGES:
+            for spec in spec_pattern.findall((DOCS / page).read_text()):
+                name, kwargs = parse_spec(spec)
+                assert name in SCENARIOS
+                import numpy as np
+
+                source = SCENARIOS.create(
+                    name, **{**kwargs, "scale": 0.001, "duration": 60.0},
+                    rng=np.random.default_rng(0),
+                )
+                assert source.num_flows > 0
 
     def test_documented_sampler_specs_parse(self):
         """Every sampler spec quoted in the docs builds a real sampler."""

@@ -51,6 +51,26 @@ class TestSmartFlowSampler:
         sampler = SmartFlowSampler(threshold_packets=10.0)
         assert sampler.expected_kept_records([1, 5, 10, 100]) == pytest.approx(0.1 + 0.5 + 1.0 + 1.0)
 
+    def test_keep_probabilities_vectorised(self):
+        import numpy as np
+
+        sampler = SmartFlowSampler(threshold_packets=10.0)
+        probabilities = sampler.keep_probabilities(np.array([1.0, 5.0, 10.0, 100.0]))
+        assert isinstance(probabilities, np.ndarray)
+        np.testing.assert_allclose(probabilities, [0.1, 0.5, 1.0, 1.0])
+        # Matches the scalar formula elementwise.
+        assert probabilities[0] == pytest.approx(sampler.keep_probability(1.0))
+
+    def test_keep_probabilities_reject_nonpositive_sizes(self):
+        sampler = SmartFlowSampler(threshold_packets=10.0)
+        with pytest.raises(ValueError):
+            sampler.keep_probabilities([1.0, 0.0])
+        assert sampler.expected_kept_records([]) == 0.0
+
+    def test_sample_records_empty_input(self):
+        sampler = SmartFlowSampler(threshold_packets=10.0, rng=0)
+        assert sampler.sample_records([]) == []
+
     def test_rank_top_orders_by_estimate(self):
         sampler = SmartFlowSampler(threshold_packets=1.0, rng=0)
         flows = [flow_summary("a", 10), flow_summary("b", 100), flow_summary("c", 50)]
