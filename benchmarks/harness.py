@@ -3,10 +3,11 @@
 
 Times the representative workloads of the library — packet expansion,
 the paper's (sampler x run) sweep in serial and in parallel, the
-streaming executor at several chunk sizes, and the source throughput of
-every registered workload scenario — and writes the measurements to
-``BENCH_pipeline.json`` at the repository root, so that every future
-optimisation PR has a recorded trajectory to beat.
+cold-vs-warm store-backed sweep (``repro.sweep`` over ``repro.store``),
+the streaming executor at several chunk sizes, and the source
+throughput of every registered workload scenario — and writes the
+measurements to ``BENCH_pipeline.json`` at the repository root, so that
+every future optimisation PR has a recorded trajectory to beat.
 
 Run it from the repository root (no pytest involved)::
 
@@ -233,6 +234,56 @@ def bench_flow_accounting(args: argparse.Namespace) -> dict:
     }
 
 
+def bench_sweep_store(args: argparse.Namespace) -> dict:
+    """Cold vs warm store-backed sweep (repro.sweep over repro.store).
+
+    Runs the paper's rate grid twice through a fresh experiment store:
+    the cold pass executes every cell through the pipeline, the warm
+    pass must find every cell cached and execute nothing.  The recorded
+    ``warm_speedup`` is the incremental-sweep payoff; the harness fails
+    if the warm pass re-executes any cell or is less than 10x faster —
+    the resumability acceptance bar — so a cache regression breaks the
+    baseline instead of polluting it.
+    """
+    import shutil
+    import tempfile
+
+    from repro.store import RunStore
+    from repro.sweep import SweepGrid, run_sweep
+
+    grid = SweepGrid(
+        traces=(f"sprint:scale={args.scale},duration={args.duration}",),
+        samplers=("bernoulli",),
+        rates=SWEEP_RATES,
+        seeds=(args.seed,),
+        num_runs=args.runs,
+    )
+    root = tempfile.mkdtemp(prefix="bench_sweep_store_")
+    try:
+        store = RunStore(root)
+        cold_seconds, cold = _timed(lambda: run_sweep(grid, store))
+        warm_seconds, warm = _timed(lambda: run_sweep(grid, store))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    if not cold.complete or len(cold.executed) != len(grid.cells()):
+        raise SystemExit("FATAL: cold sweep did not execute every cell")
+    if warm.executed or len(warm.cached) != len(grid.cells()):
+        raise SystemExit("FATAL: warm sweep re-executed cells — store resume regression")
+    speedup = round(cold_seconds / warm_seconds, 1) if warm_seconds else None
+    if speedup is not None and speedup < 10.0:
+        raise SystemExit(
+            f"FATAL: warm sweep only {speedup}x faster than cold (acceptance bar is 10x)"
+        )
+    return {
+        "cells": len(grid.cells()),
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_speedup": speedup,
+        "warm_executed": len(warm.executed),
+        "warm_cached": len(warm.cached),
+    }
+
+
 def bench_streaming(args: argparse.Namespace) -> dict:
     """Single-sampler run at several streaming chunk sizes."""
     timings: dict[str, float] = {}
@@ -312,6 +363,14 @@ def main(argv: list[str] | None = None) -> int:
     print(
         f"serial {sweep['serial_seconds']}s vs {sweep['jobs']}-proc "
         f"{sweep['parallel_seconds']}s -> speedup {sweep['speedup']}x (bit-identical)"
+    )
+
+    print(f"sweep store ... ", end="", flush=True)
+    report["results"]["sweep_store"] = sweep_store = bench_sweep_store(args)
+    print(
+        f"{sweep_store['cells']} cells: cold {sweep_store['cold_seconds']}s vs "
+        f"warm {sweep_store['warm_seconds']}s -> {sweep_store['warm_speedup']}x "
+        "(warm pass fully cached)"
     )
 
     print(f"streaming   ... ", end="", flush=True)

@@ -33,6 +33,12 @@ Subpackages
 ``repro.registry``
     String-keyed registries of samplers, key policies, distributions and
     trace generators.
+``repro.store``
+    Persistent, content-addressed store of pipeline results (the cache
+    behind incremental sweeps).
+``repro.sweep``
+    Resumable sweep orchestration: declarative grids executed through
+    the pipeline backends, skipping store hits.
 
 Quickstart
 ----------
@@ -48,6 +54,8 @@ Quickstart
 5
 """
 
+__version__ = "1.5.0"
+
 from .core import (
     DetectionModel,
     FlowPopulation,
@@ -61,8 +69,8 @@ from .distributions import ParetoFlowSizes
 from .pipeline import Pipeline, PipelineResult
 from .registry import DISTRIBUTIONS, KEY_POLICIES, SAMPLERS, TRACES, parse_spec
 from .scenarios import SCENARIOS
-
-__version__ = "1.4.0"
+from .store import RunSpec, RunStore, store_key
+from .sweep import SweepGrid, run_sweep
 
 __all__ = [
     "__version__",
@@ -82,4 +90,9 @@ __all__ = [
     "TRACES",
     "SCENARIOS",
     "parse_spec",
+    "RunSpec",
+    "RunStore",
+    "store_key",
+    "SweepGrid",
+    "run_sweep",
 ]

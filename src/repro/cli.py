@@ -1,11 +1,22 @@
 """Command-line interface.
 
-Five subcommands cover the workflows the library supports:
+Seven subcommands cover the workflows the library supports:
 
 * ``run`` — run an arbitrary pipeline built from registry specs
   (``repro run --sampler bernoulli:rate=0.01 --trace sprint --bin 60
   --top 10``); ``--scenario burst:factor=20`` streams a named workload
-  from the scenario registry instead of a plain trace;
+  from the scenario registry instead of a plain trace; ``--store DIR``
+  caches the result in (and reuses it from) a persistent experiment
+  store, ``--json PATH`` dumps the full result as JSON;
+* ``sweep`` — resumable grid sweeps over a store: ``repro sweep run``
+  executes the missing cells of a (source x sampler x rate x seed)
+  grid, ``repro sweep status`` shows coverage, ``repro sweep report``
+  prints per-scenario sampler leaderboards and deltas against a
+  baseline sweep;
+* ``store`` — experiment-store maintenance: ``repro store ls`` lists
+  the cached runs, ``repro store verify`` checks every artifact
+  against the cache-key contract, ``repro store gc`` reconciles the
+  index and removes stale artifacts;
 * ``scenarios`` — list the named workload scenarios and their
   parameters (``repro scenarios``);
 * ``figure`` — regenerate the data behind one figure of the paper and
@@ -35,8 +46,10 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
 from .core.flow_size_model import FlowPopulation
 from .core.rate_planning import required_sampling_rate
@@ -46,6 +59,9 @@ from .experiments.report import (
     render_figure_result,
     render_pipeline_result,
     render_simulation_result,
+    render_sweep_comparison,
+    render_sweep_leaderboard,
+    render_sweep_status,
 )
 from .pipeline import DEFAULT_CHUNK_PACKETS, Pipeline
 from .registry import (
@@ -54,10 +70,13 @@ from .registry import (
     SAMPLERS,
     TRACES,
     UnknownComponentError,
+    format_spec,
     parse_kwargs,
     parse_spec,
 )
 from .scenarios import SCENARIOS
+from .store import RunSpec, RunStore
+from .sweep import SweepGrid, collect, comparison_rows, leaderboard_rows, run_sweep, sweep_status
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -133,10 +152,75 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--csv", metavar="PATH", help="also write a per-bin CSV to PATH")
     run.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="persistent experiment store: reuse the result when this exact run "
+        "is already cached there, persist it otherwise (see `repro store`)",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full result (PipelineResult.to_dict) as JSON to PATH",
+    )
+    run.add_argument(
         "--list-components",
         action="store_true",
         help="print the registered component names and exit",
     )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="resumable grid sweeps backed by the experiment store"
+    )
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+    sweep_run = sweep_sub.add_parser(
+        "run", help="execute the missing cells of a sweep grid into a store"
+    )
+    sweep_run.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes per cell (default: auto)",
+    )
+    sweep_run.add_argument(
+        "--max-cells", type=int, default=None, metavar="K",
+        help="execute at most K missing cells, then stop (resume later with "
+        "the same command; used by the CI kill-and-resume smoke test)",
+    )
+    sweep_run.add_argument(
+        "--array-format", choices=("json", "npz"), default="json",
+        help="artifact format for newly stored results (default json)",
+    )
+    sweep_status_parser = sweep_sub.add_parser(
+        "status", help="show which cells of the grid are cached vs missing"
+    )
+    sweep_report = sweep_sub.add_parser(
+        "report", help="per-source sampler leaderboard (and deltas vs a baseline sweep)"
+    )
+    sweep_report.add_argument(
+        "--problem", choices=("ranking", "detection"), default="ranking",
+        help="which metric family to aggregate (default ranking)",
+    )
+    sweep_report.add_argument(
+        "--baseline-store", metavar="DIR", default=None,
+        help="a second store swept with the same grid; the report adds "
+        "per-cell metric deltas against it",
+    )
+    for sweep_parser in (sweep_run, sweep_status_parser, sweep_report):
+        _add_grid_arguments(sweep_parser)
+
+    store = subparsers.add_parser("store", help="experiment-store maintenance")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list the cached runs (index only)")
+    store_verify = store_sub.add_parser(
+        "verify", help="check every artifact against the cache-key contract"
+    )
+    store_gc = store_sub.add_parser(
+        "gc", help="reconcile the index and remove stale or unreadable artifacts"
+    )
+    for store_parser in (store_ls, store_verify, store_gc):
+        store_parser.add_argument(
+            "--store", metavar="DIR", required=True, help="store directory"
+        )
 
     subparsers.add_parser(
         "scenarios", help="list the named workload scenarios and their parameters"
@@ -192,6 +276,159 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fold_source_defaults(spec: str, args: argparse.Namespace) -> str:
+    """Fold the ``--scale``/``--duration`` flags into a source spec as defaults.
+
+    An explicit value inside the spec (e.g. ``burst:duration=300``)
+    wins over the flag, exactly as documented for ``repro run``.
+    """
+    name, kwargs = parse_spec(spec)
+    kwargs.setdefault("scale", args.scale)
+    kwargs.setdefault("duration", args.duration)
+    return format_spec(name, kwargs)
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared sweep-grid flags of ``repro sweep run|status|report``."""
+    parser.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="experiment store directory holding the sweep's cells",
+    )
+    parser.add_argument(
+        "--scenario", action="append", default=None, metavar="SPEC",
+        help="scenario spec for the source axis (repeatable; conflicts with --trace)",
+    )
+    parser.add_argument(
+        "--trace", action="append", default=None, metavar="SPEC",
+        help="trace spec for the source axis (repeatable; default sprint)",
+    )
+    parser.add_argument(
+        "--sampler", action="append", default=None, metavar="SPEC",
+        help="sampler spec for the sampler axis (repeatable; default bernoulli)",
+    )
+    parser.add_argument(
+        "--rates", type=float, nargs="+", default=None, metavar="R",
+        help="sampling rates composed into each sampler spec as rate=R",
+    )
+    parser.add_argument(
+        "--seeds", type=int, nargs="+", default=[0], metavar="S",
+        help="pipeline seeds, one cell per seed (default 0)",
+    )
+    parser.add_argument("--key", default="five-tuple", help="flow-key policy spec")
+    parser.add_argument("--scale", type=float, default=0.01, help="fraction of backbone flow rate")
+    parser.add_argument("--duration", type=float, default=600.0, help="trace duration in seconds")
+    parser.add_argument("--bin", type=float, default=60.0, help="measurement interval in seconds")
+    parser.add_argument("--top", type=int, default=10, help="number of top flows")
+    parser.add_argument("--runs", type=int, default=5, help="sampling runs per cell")
+
+
+def _grid_of(args: argparse.Namespace) -> SweepGrid:
+    """Build the :class:`SweepGrid` described by the sweep subcommand flags.
+
+    ``--scale``/``--duration`` are folded into every source spec as
+    defaults — an explicit value inside the spec wins, exactly as in
+    ``repro run``.
+    """
+
+    def _resolved(specs: list[str] | None) -> tuple[str, ...]:
+        return tuple(_fold_source_defaults(spec, args) for spec in specs or [])
+
+    if args.scenario and args.trace:
+        raise ValueError("--scenario and --trace are mutually exclusive")
+    return SweepGrid(
+        scenarios=_resolved(args.scenario),
+        traces=_resolved(args.trace if args.trace or args.scenario else ["sprint"]),
+        samplers=tuple(args.sampler) if args.sampler else ("bernoulli:rate=0.01",),
+        rates=tuple(args.rates) if args.rates else (),
+        seeds=tuple(args.seeds),
+        key=args.key,
+        bin_duration=args.bin,
+        top_t=args.top,
+        num_runs=args.runs,
+    )
+
+
+def _run_sweep_cli(args: argparse.Namespace) -> str:
+    grid = _grid_of(args)
+    if args.sweep_command == "run":
+        store = RunStore(args.store, array_format=args.array_format)
+        events: list[str] = []
+
+        def progress(event: str, index: int, total: int, spec: RunSpec) -> None:
+            if event == "run":
+                source = spec.scenario if spec.scenario is not None else spec.trace
+                events.append(
+                    f"  cell {index + 1}/{total}: {source} | {spec.samplers[0]} "
+                    f"| seed={spec.seed}"
+                )
+
+        report = run_sweep(
+            grid, store, jobs=args.jobs, max_cells=args.max_cells, progress=progress
+        )
+        lines = [f"sweep over {report.total} cells into {args.store}"]
+        lines.extend(events)
+        lines.append(
+            f"executed {len(report.executed)} cell(s), reused {len(report.cached)} "
+            f"cached cell(s)"
+        )
+        if report.interrupted:
+            remaining = report.total - len(report.executed) - len(report.cached)
+            lines.append(
+                f"stopped at --max-cells {args.max_cells}; {remaining} cell(s) "
+                "remain — re-run the same command to resume"
+            )
+        else:
+            lines.append("sweep complete")
+        return "\n".join(lines)
+    store = RunStore(args.store)
+    if args.sweep_command == "status":
+        return render_sweep_status(sweep_status(grid, store))
+    if args.sweep_command == "report":
+        runs = collect(grid, store, strict=False)
+        text = render_sweep_leaderboard(leaderboard_rows(runs, problem=args.problem))
+        missing = len(grid.cells()) - len(runs)
+        if missing:
+            text += f"\n({missing} cell(s) not in the store yet — partial report)"
+        if args.baseline_store is not None:
+            baseline = RunStore(args.baseline_store)
+            text += "\n\n" + render_sweep_comparison(
+                comparison_rows(runs, baseline, problem=args.problem)
+            )
+        return text
+    raise ValueError(f"unknown sweep command {args.sweep_command!r}")
+
+
+def _run_store_cli(args: argparse.Namespace) -> str:
+    store = RunStore(args.store)
+    if args.store_command == "ls":
+        entries = store.list()
+        lines = [f"{args.store}: {len(entries)} stored run(s)"]
+        for key, spec in entries:
+            source = spec.scenario if spec.scenario is not None else (spec.trace or "sprint")
+            lines.append(
+                f"  {key}  {source} | {', '.join(spec.samplers)} | seed={spec.seed} "
+                f"| bin={spec.bin_duration:g}s top={spec.top_t} runs={spec.num_runs}"
+            )
+        return "\n".join(lines)
+    if args.store_command == "verify":
+        report = store.verify()
+        lines = [
+            f"{args.store}: checked {report.checked} entr(ies), {report.ok} ok, "
+            f"{len(report.issues)} issue(s)"
+        ]
+        lines.extend(f"  {key}: {problem}" for key, problem in report.issues)
+        return "\n".join(lines)
+    if args.store_command == "gc":
+        summary = store.gc()
+        lines = [
+            f"{args.store}: removed {len(summary['removed'])}, "
+            f"reindexed {len(summary['reindexed'])}, kept {summary['kept']}"
+        ]
+        lines.extend(f"  removed {key}" for key in summary["removed"])
+        return "\n".join(lines)
+    raise ValueError(f"unknown store command {args.store_command!r}")
+
+
 def _list_components() -> str:
     lines = ["registered components (name:key=value,... specs):"]
     for title, registry in (
@@ -227,31 +464,46 @@ def _list_scenarios() -> str:
 def _run_pipeline(args: argparse.Namespace) -> str:
     if args.list_components:
         return _list_components()
-    pipeline = (
-        Pipeline()
-        .with_key_policy(args.key)
-        .with_bin_duration(args.bin)
-        .with_top(args.top)
-        .with_runs(args.runs)
-        .with_seed(args.seed)
-    )
+    # Everything that determines the numbers is folded into one RunSpec
+    # first, and the executed pipeline is derived *from* it — so the
+    # store key and the computation can never drift apart.
+    trace_spec: str | None = None
+    scenario_spec: str | None = None
     if args.scenario is not None:
         if args.trace is not None:
             raise ValueError("--scenario and --trace are mutually exclusive")
         # --scale/--duration are defaults; an explicit value inside the
         # --scenario spec (e.g. burst:duration=300) wins.
-        scenario_name, scenario_kwargs = parse_spec(args.scenario)
-        scenario_kwargs.setdefault("scale", args.scale)
-        scenario_kwargs.setdefault("duration", args.duration)
-        pipeline.with_scenario(scenario_name, **scenario_kwargs)
+        scenario_spec = _fold_source_defaults(args.scenario, args)
     else:
         # Same precedence for the --trace spec (e.g. sprint:scale=0.05).
-        trace_name, trace_kwargs = parse_spec(args.trace or "sprint")
-        trace_kwargs.setdefault("scale", args.scale)
-        trace_kwargs.setdefault("duration", args.duration)
-        pipeline.with_trace(trace_name, **trace_kwargs)
-    for spec in args.sampler if args.sampler else ["bernoulli:rate=0.01"]:
-        pipeline.with_sampler(spec)
+        trace_spec = _fold_source_defaults(args.trace or "sprint", args)
+    max_flows = None
+    monitor = args.monitor is not None
+    if monitor:
+        options = parse_kwargs(args.monitor)
+        unknown = set(options) - {"max_flows"}
+        if unknown:
+            raise ValueError(
+                f"unknown --monitor option(s) {sorted(unknown)}; expected max_flows=N"
+            )
+        max_flows = options.get("max_flows")
+
+    run_spec = RunSpec(
+        samplers=tuple(args.sampler) if args.sampler else ("bernoulli:rate=0.01",),
+        trace=trace_spec,
+        scenario=scenario_spec,
+        key=args.key,
+        bin_duration=args.bin,
+        top_t=args.top,
+        num_runs=args.runs,
+        seed=args.seed,
+        monitor=monitor,
+        max_flows=max_flows,
+    )
+    pipeline = run_spec.build_pipeline()
+    # Execution-only knobs (bit-identical results by contract, hence
+    # not part of the spec) layer on top of the derived pipeline.
     if args.materialised:
         if args.chunk_packets is not None:
             raise ValueError("--chunk-packets conflicts with --materialised")
@@ -260,16 +512,25 @@ def _run_pipeline(args: argparse.Namespace) -> str:
         pipeline.streaming(
             DEFAULT_CHUNK_PACKETS if args.chunk_packets is None else args.chunk_packets
         )
-    if args.monitor is not None:
-        options = parse_kwargs(args.monitor)
-        unknown = set(options) - {"max_flows"}
-        if unknown:
-            raise ValueError(
-                f"unknown --monitor option(s) {sorted(unknown)}; expected max_flows=N"
-            )
-        pipeline.with_monitor(options.get("max_flows"))
-    result = pipeline.run(jobs=args.jobs)
+    cached = False
+    if args.store is not None:
+        store = RunStore(args.store)
+        stored = store.get(run_spec)
+        if stored is not None:
+            cached = True
+            result = stored.result
+        else:
+            result = pipeline.run(jobs=args.jobs)
+            store.put(run_spec, result)
+    else:
+        result = pipeline.run(jobs=args.jobs)
     text = render_pipeline_result(result)
+    if args.store is not None:
+        state = "loaded from" if cached else "stored in"
+        text += f"\n{state} {args.store} (key {store.key_of(run_spec)})"
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.to_dict(), indent=2) + "\n")
+        text += f"\nwrote result JSON to {args.json}"
     if args.csv:
         result.to_csv(args.csv)
         text += f"\nwrote per-bin CSV to {args.csv}"
@@ -322,6 +583,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         try:
             output = _run_pipeline(args)
         except (UnknownComponentError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.command == "sweep":
+        try:
+            output = _run_sweep_cli(args)
+        except (UnknownComponentError, ValueError, TypeError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    elif args.command == "store":
+        try:
+            output = _run_store_cli(args)
+        except (UnknownComponentError, ValueError, TypeError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     elif args.command == "scenarios":

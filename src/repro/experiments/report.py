@@ -4,6 +4,15 @@ The benchmark harness and the examples use these helpers to print the
 series behind each figure in a compact, paper-comparable form: one row
 per (series, sampling rate) with the metric value and whether it passes
 the paper's "fewer than one swapped pair" criterion.
+
+Rendering is **deterministic across serialisation**: a result reloaded
+from the experiment store (``PipelineResult.from_dict(r.to_dict())``)
+renders character-identical to the live result — row order follows the
+result's sampler list (preserved by the round trip) and every float is
+formatted through the same helpers on both paths.  The sweep renderers
+(:func:`render_sweep_status`, :func:`render_sweep_leaderboard`,
+:func:`render_sweep_comparison`) print the aggregate tables behind
+``repro sweep status|report``.
 """
 
 from __future__ import annotations
@@ -19,6 +28,17 @@ from .figures import FigureResult
 
 def _format_row(cells: Sequence[str], widths: Sequence[int]) -> str:
     return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+
+def _fmt(value: float, spec: str = ".3g") -> str:
+    """Format one metric value deterministically.
+
+    Coercing through ``float`` first makes the output independent of
+    whether the value is a NumPy scalar (live result) or a plain float
+    (result reloaded from the store) — the store round-trip tests pin
+    this equality.
+    """
+    return format(float(value), spec)
 
 
 def render_figure_result(result: FigureResult, max_points: int = 8) -> str:
@@ -65,22 +85,31 @@ def render_simulation_result(result: SimulationResult) -> str:
 
 
 def render_pipeline_result(result: PipelineResult) -> str:
-    """Render a pipeline result as an aligned text table (one row per sampler)."""
+    """Render a pipeline result as an aligned text table (one row per sampler).
+
+    Deterministic across the store round trip: a result rebuilt with
+    :meth:`PipelineResult.from_dict
+    <repro.pipeline.result.PipelineResult.from_dict>` renders the exact
+    same text as the live result (same row order — the sampler list is
+    preserved — and same float formatting via :func:`_fmt`).
+    """
     mode = "streamed" if result.streamed else "materialised"
     lines = [
         (
             f"pipeline run ({mode}): {result.flow_definition}, "
-            f"bin = {result.bin_duration:.0f}s, top {result.top_t} flows, "
-            f"{result.num_runs} runs, {result.flows_per_bin:.0f} flows/bin, "
-            f"{result.total_packets:,} packets"
+            f"bin = {_fmt(result.bin_duration, '.0f')}s, top {result.top_t} flows, "
+            f"{result.num_runs} runs, {_fmt(result.flows_per_bin, '.0f')} flows/bin, "
+            f"{int(result.total_packets):,} packets"
         )
     ]
     if result.scenario:
         lines.append(f"scenario: {result.scenario} — {result.source}")
     if result.monitor:
-        bound = "unbounded" if result.max_flows is None else f"max_flows = {result.max_flows:,}"
+        bound = (
+            "unbounded" if result.max_flows is None else f"max_flows = {int(result.max_flows):,}"
+        )
         evictions = ", ".join(
-            f"{label}: {np.mean(runs):.1f}" for label, runs in result.evictions.items()
+            f"{label}: {_fmt(np.mean(runs), '.1f')}" for label, runs in result.evictions.items()
         )
         lines.append(
             f"monitor-in-the-loop ({bound}); mean evictions per run: "
@@ -99,13 +128,98 @@ def render_pipeline_result(result: PipelineResult) -> str:
                     [
                         problem,
                         summary.label,
-                        f"{summary.effective_rate * 100:.3g}%",
-                        f"{series.overall_mean:.3g}",
-                        f"{series.fraction_of_bins_acceptable() * 100:.0f}%",
+                        f"{_fmt(summary.effective_rate * 100)}%",
+                        _fmt(series.overall_mean),
+                        f"{_fmt(series.fraction_of_bins_acceptable() * 100, '.0f')}%",
                     ],
                     widths,
                 )
             )
+    return "\n".join(lines)
+
+
+def render_sweep_status(status: dict) -> str:
+    """Render a :func:`repro.sweep.sweep_status` dict as a cell table."""
+    lines = [
+        (
+            f"sweep: {status['cached']}/{status['total']} cells cached, "
+            f"{status['missing']} missing"
+        ),
+        _format_row(["cell", "key", "state", "spec"], [6, 26, 8, 40]),
+    ]
+    for index, (key, cached, spec) in enumerate(status["cells"]):
+        source = spec.scenario if spec.scenario is not None else (spec.trace or "sprint")
+        description = f"{source} | {spec.samplers[0]} | seed={spec.seed}"
+        lines.append(
+            _format_row(
+                [str(index), key, "cached" if cached else "missing", description],
+                [6, 26, 8, 40],
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_leaderboard(rows: Sequence[dict]) -> str:
+    """Render :func:`repro.sweep.leaderboard_rows` as per-source tables.
+
+    One block per source (scenario or trace), samplers ranked by mean
+    swapped pairs ascending — the best sampler of each workload first.
+    """
+    if not rows:
+        return "sweep leaderboard: no stored cells (run `repro sweep run` first)"
+    problem = rows[0]["problem"]
+    lines = [f"sweep leaderboard ({problem}, mean over seeds; lower is better)"]
+    header = ["rank", "sampler", "rate", "mean swapped pairs", "mean+std < 1 (bins %)"]
+    widths = [5, 28, 8, 20, 22]
+    current_source = None
+    for row in rows:
+        if row["source"] != current_source:
+            current_source = row["source"]
+            lines.append(f"\n{current_source} ({row['num_seeds']} seed(s)):")
+            lines.append(_format_row(header, widths))
+        lines.append(
+            _format_row(
+                [
+                    str(row["rank"]),
+                    row["sampler"],
+                    f"{_fmt(row['rate'] * 100)}%",
+                    _fmt(row["mean_swapped_pairs"]),
+                    f"{_fmt(row['fraction_bins_acceptable'] * 100, '.0f')}%",
+                ],
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_sweep_comparison(rows: Sequence[dict]) -> str:
+    """Render :func:`repro.sweep.comparison_rows`: deltas vs a baseline sweep.
+
+    Negative deltas mean this sweep beats the baseline (fewer swapped
+    pairs); cells the baseline store does not contain show ``n/a``.
+    """
+    if not rows:
+        return "sweep comparison: no stored cells (run `repro sweep run` first)"
+    problem = rows[0]["problem"]
+    lines = [f"sweep comparison vs baseline ({problem}; delta < 0 means better)"]
+    header = ["source", "sampler", "seed", "mean", "baseline", "delta"]
+    widths = [20, 28, 6, 10, 10, 10]
+    lines.append(_format_row(header, widths))
+    for row in rows:
+        baseline = row["baseline_mean_swapped_pairs"]
+        lines.append(
+            _format_row(
+                [
+                    row["source"],
+                    row["sampler"],
+                    str(row["seed"]),
+                    _fmt(row["mean_swapped_pairs"]),
+                    "n/a" if baseline is None else _fmt(baseline),
+                    "n/a" if row["delta"] is None else _fmt(row["delta"], "+.3g"),
+                ],
+                widths,
+            )
+        )
     return "\n".join(lines)
 
 
@@ -129,5 +243,8 @@ __all__ = [
     "render_figure_result",
     "render_simulation_result",
     "render_pipeline_result",
+    "render_sweep_status",
+    "render_sweep_leaderboard",
+    "render_sweep_comparison",
     "acceptable_rate_threshold",
 ]

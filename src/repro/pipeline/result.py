@@ -16,6 +16,8 @@ import io
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from ..simulation.results import MetricSeries, SimulationResult
 
 
@@ -180,24 +182,91 @@ class PipelineResult:
             }
 
         return {
-            "flow_definition": self.flow_definition,
-            "bin_duration": self.bin_duration,
-            "top_t": self.top_t,
-            "num_runs": self.num_runs,
-            "flows_per_bin": self.flows_per_bin,
-            "total_packets": self.total_packets,
-            "streamed": self.streamed,
-            "monitor": self.monitor,
-            "max_flows": self.max_flows,
+            "flow_definition": str(self.flow_definition),
+            "bin_duration": float(self.bin_duration),
+            "top_t": int(self.top_t),
+            "num_runs": int(self.num_runs),
+            "flows_per_bin": float(self.flows_per_bin),
+            "total_packets": int(self.total_packets),
+            "streamed": bool(self.streamed),
+            "monitor": bool(self.monitor),
+            "max_flows": None if self.max_flows is None else int(self.max_flows),
             "source": self.source,
             "scenario": self.scenario,
-            "evictions": {label: list(runs) for label, runs in self.evictions.items()},
+            "evictions": {
+                label: [int(value) for value in runs]
+                for label, runs in self.evictions.items()
+            },
             "samplers": [
-                {"label": s.label, "effective_rate": s.effective_rate} for s in self.samplers
+                {"label": s.label, "effective_rate": float(s.effective_rate)}
+                for s in self.samplers
             ],
             "ranking": {label: _series_dict(series) for label, series in self.ranking.items()},
             "detection": {label: _series_dict(series) for label, series in self.detection.items()},
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineResult":
+        """Rebuild a result from its :meth:`to_dict` representation.
+
+        The exact inverse of :meth:`to_dict`:
+        ``PipelineResult.from_dict(r.to_dict()).to_dict() == r.to_dict()``
+        holds bit for bit (floats survive JSON because ``tolist`` emits
+        shortest-round-trip Python floats), and the rendered report of a
+        reloaded result is character-identical to the live one — the
+        experiment store (:mod:`repro.store`) relies on both.
+
+        Parameters
+        ----------
+        data:
+            A dictionary as produced by :meth:`to_dict` (possibly after
+            a JSON round trip).
+
+        Returns
+        -------
+        PipelineResult
+            A result equal to the one that was serialised: same sampler
+            order, same series arrays, same monitor fields.
+        """
+
+        def _series(problem: str, payload: dict) -> MetricSeries:
+            return MetricSeries(
+                problem=problem,
+                sampling_rate=float(payload["sampling_rate"]),
+                bin_start_times=np.asarray(payload["bin_start_times"], dtype=float),
+                values=np.asarray(payload["values"], dtype=float),
+            )
+
+        max_flows = data.get("max_flows")
+        return cls(
+            flow_definition=str(data["flow_definition"]),
+            bin_duration=float(data["bin_duration"]),
+            top_t=int(data["top_t"]),
+            num_runs=int(data["num_runs"]),
+            flows_per_bin=float(data["flows_per_bin"]),
+            total_packets=int(data["total_packets"]),
+            streamed=bool(data["streamed"]),
+            monitor=bool(data.get("monitor", False)),
+            max_flows=None if max_flows is None else int(max_flows),
+            source=data.get("source"),
+            scenario=data.get("scenario"),
+            evictions={
+                label: [int(value) for value in runs]
+                for label, runs in data.get("evictions", {}).items()
+            },
+            samplers=[
+                SamplerSummary(label=str(s["label"]), effective_rate=float(s["effective_rate"]))
+                for s in data["samplers"]
+            ],
+            ranking={
+                label: _series("ranking", payload)
+                for label, payload in data.get("ranking", {}).items()
+            },
+            detection={
+                label: _series("detection", payload)
+                for label, payload in data.get("detection", {}).items()
+            },
+        )
 
     def to_csv(self, path: str | Path | None = None) -> str:
         """Per-bin CSV export (one row per problem, sampler and bin).

@@ -57,7 +57,7 @@ from .sampling.bernoulli import BernoulliSampler
 from .sampling.periodic import PeriodicSampler
 from .sampling.sample_and_hold import SampleAndHoldSampler
 from .sampling.stratified import HashFlowSampler
-from .spec import format_spec, parse_kwargs, parse_spec
+from .spec import canonical_spec, format_spec, parse_kwargs, parse_spec
 from .traces.synthetic import SyntheticTraceGenerator, abilene_like_config, sprint_like_config
 
 
@@ -305,6 +305,7 @@ __all__ = [
     "parse_spec",
     "parse_kwargs",
     "format_spec",
+    "canonical_spec",
     "SAMPLERS",
     "KEY_POLICIES",
     "DISTRIBUTIONS",

@@ -192,4 +192,46 @@ def format_spec(name: str, kwargs: dict[str, object] | None = None) -> str:
     return f"{name}:{rendered}"
 
 
-__all__ = ["parse_spec", "parse_kwargs", "format_spec"]
+def _canonical_value(value: object) -> object:
+    """Collapse numerically equal spellings of one spec value.
+
+    Integral floats become ints (``120.0`` -> ``120``), recursively
+    through tuples and lists, so ``duration=120`` and ``duration=120.0``
+    describe the same component *and* render the same canonical string.
+    The int form is the safe direction: every numeric constructor
+    argument in the library accepts an int where a float is expected,
+    while the reverse (``flows=32.0`` for an array length) would not
+    hold.  Bools are left alone (``True`` is not ``1.0``'s spelling).
+    """
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, (tuple, list)):
+        return type(value)(_canonical_value(item) for item in value)
+    return value
+
+
+def canonical_spec(spec: str) -> str:
+    """Normalise a spec string into its canonical, order-independent form.
+
+    Parses the spec and re-renders it with the keyword arguments sorted
+    by name and numerically equal literal spellings collapsed
+    (:func:`_canonical_value`), so two specs that differ only in
+    argument order, redundant whitespace, or int-vs-float spelling map
+    to the same string.  This is the normalisation the experiment store
+    hashes (:func:`repro.store.store_key`): cache keys must not depend
+    on how a config file or CLI flag happened to spell the arguments.
+
+    >>> canonical_spec("periodic:phase=3,period=100")
+    'periodic:period=100,phase=3'
+    >>> canonical_spec("periodic:period=100,phase=3")
+    'periodic:period=100,phase=3'
+    >>> canonical_spec("sprint:duration=120.0,scale=0.002")
+    'sprint:duration=120,scale=0.002'
+    >>> canonical_spec("five-tuple")
+    'five-tuple'
+    """
+    name, kwargs = parse_spec(spec)
+    return format_spec(name, {key: _canonical_value(kwargs[key]) for key in sorted(kwargs)})
+
+
+__all__ = ["parse_spec", "parse_kwargs", "format_spec", "canonical_spec"]

@@ -1,0 +1,595 @@
+"""Persistent, content-addressed store of pipeline results.
+
+The paper's results are *grids*: ranking/detection quality swept over
+sampling rate, flow definition, bin duration, scenario and seed.  Every
+``repro run`` used to recompute its cell from scratch and discard the
+output; this module gives runs a durable home so sweeps become
+incremental.
+
+Two pieces:
+
+* :class:`RunSpec` — the canonical, fully-resolved description of one
+  run (source spec, sampler specs, key policy, bins, seed, monitor
+  settings).  Everything that determines the run's numbers is in the
+  spec; everything that does not (chunk size, execution backend — both
+  bit-identical by the executor's contracts) is deliberately *not*.
+* :class:`RunStore` — a directory of JSON/NPZ artifacts keyed by
+  :func:`store_key`, a stable hash of the canonical spec plus a
+  code-version salt.  ``get``/``put``/``list``/``verify``/``gc`` cover
+  the cache workflows; an ``index.json`` makes listing cheap.
+
+The cache-key contract
+----------------------
+``store_key(spec)`` hashes the JSON of ``spec.canonical().to_dict()``
+with sorted keys, salted with :data:`STORE_SALT` (store format version
+plus the library version).  Consequences:
+
+* the same spec hashes identically in every process and for every
+  dict-key or spec-argument ordering (``canonical_spec`` sorts spec
+  kwargs, ``sort_keys`` sorts the JSON);
+* changing **any** field that affects the numbers changes the key;
+* results computed by a different library version are never reused —
+  a version bump invalidates the cache rather than silently mixing
+  numerics.
+
+>>> spec = RunSpec(samplers=("bernoulli:rate=0.5",), trace="sprint:duration=120,scale=0.002",
+...                num_runs=2, seed=0)
+>>> spec.canonical() == RunSpec.from_dict(spec.to_dict()).canonical()
+True
+>>> store_key(spec) == store_key(spec.canonical())
+True
+
+Layout on disk::
+
+    <root>/
+      index.json           # {"salt": ..., "entries": {key: spec dict}}
+      runs/<key>.json      # {"key", "salt", "spec", "result"}
+      runs/<key>.npz       # large arrays, when array_format="npz"
+
+See ``docs/sweeps.md`` for the full contract and the resumable sweep
+orchestrator built on top (:mod:`repro.sweep`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+from . import __version__
+from .pipeline.pipeline import Pipeline
+from .pipeline.result import PipelineResult
+from .spec import canonical_spec
+
+#: Store format version — bump when the on-disk layout or the key
+#: derivation changes incompatibly.
+STORE_FORMAT = 1
+
+#: Salt mixed into every store key: ties cached results to both the
+#: store format and the code version that produced them.
+STORE_SALT = f"repro-store/{STORE_FORMAT}/repro/{__version__}"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Canonical description of one pipeline run — the unit the store keys.
+
+    Exactly one of ``trace`` / ``scenario`` names the packet source (as
+    a registry spec string); ``samplers`` is the tuple of sampler specs
+    evaluated against it.  All fields are spec strings or plain numbers,
+    so a ``RunSpec`` is JSON-serialisable, hashable and buildable from
+    a config file or CLI flags.
+
+    Fields that do **not** affect the computed numbers (streaming chunk
+    size, execution backend, worker count) are intentionally absent:
+    the executor guarantees bit-identical results across them, so they
+    must not fragment the cache.
+    """
+
+    samplers: tuple[str, ...]
+    trace: str | None = None
+    scenario: str | None = None
+    key: str = "five-tuple"
+    bin_duration: float = 60.0
+    top_t: int = 10
+    num_runs: int = 5
+    seed: int = 0
+    monitor: bool = False
+    max_flows: int | None = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.samplers, str):
+            object.__setattr__(self, "samplers", (self.samplers,))
+        else:
+            object.__setattr__(self, "samplers", tuple(self.samplers))
+        if not self.samplers:
+            raise ValueError("a run spec needs at least one sampler spec")
+        if self.trace is not None and self.scenario is not None:
+            raise ValueError("trace and scenario are mutually exclusive in a run spec")
+        if self.seed is None:
+            raise ValueError(
+                "a stored run must be seeded: seed=None draws fresh entropy and "
+                "could never be reproduced from its cache key"
+            )
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> "RunSpec":
+        """The order-independent form of this spec (what the store hashes).
+
+        Every component spec string is normalised with
+        :func:`repro.spec.canonical_spec` (kwargs sorted by name) and
+        the numeric fields are coerced to plain Python types, so two
+        specs describing the same run compare — and hash — equal.
+        """
+        return replace(
+            self,
+            samplers=tuple(canonical_spec(spec) for spec in self.samplers),
+            trace=None if self.trace is None else canonical_spec(self.trace),
+            scenario=None if self.scenario is None else canonical_spec(self.scenario),
+            key=canonical_spec(self.key),
+            bin_duration=float(self.bin_duration),
+            top_t=int(self.top_t),
+            num_runs=int(self.num_runs),
+            seed=int(self.seed),
+            monitor=bool(self.monitor),
+            max_flows=None if self.max_flows is None else int(self.max_flows),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly export; inverse of :meth:`from_dict`."""
+        return {
+            "samplers": list(self.samplers),
+            "trace": self.trace,
+            "scenario": self.scenario,
+            "key": self.key,
+            "bin_duration": float(self.bin_duration),
+            "top_t": int(self.top_t),
+            "num_runs": int(self.num_runs),
+            "seed": int(self.seed),
+            "monitor": bool(self.monitor),
+            "max_flows": None if self.max_flows is None else int(self.max_flows),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        """Rebuild a spec from its :meth:`to_dict` representation."""
+        max_flows = data.get("max_flows")
+        return cls(
+            samplers=tuple(data["samplers"]),
+            trace=data.get("trace"),
+            scenario=data.get("scenario"),
+            key=data.get("key", "five-tuple"),
+            bin_duration=float(data.get("bin_duration", 60.0)),
+            top_t=int(data.get("top_t", 10)),
+            num_runs=int(data.get("num_runs", 5)),
+            seed=int(data["seed"]),
+            monitor=bool(data.get("monitor", False)),
+            max_flows=None if max_flows is None else int(max_flows),
+        )
+
+    # ------------------------------------------------------------------
+    def build_pipeline(self) -> Pipeline:
+        """A :class:`~repro.pipeline.pipeline.Pipeline` configured to run this spec."""
+        pipeline = (
+            Pipeline()
+            .with_key_policy(self.key)
+            .with_bin_duration(self.bin_duration)
+            .with_top(self.top_t)
+            .with_runs(self.num_runs)
+            .with_seed(self.seed)
+        )
+        if self.scenario is not None:
+            pipeline.with_scenario(self.scenario)
+        else:
+            pipeline.with_trace(self.trace if self.trace is not None else "sprint")
+        for sampler in self.samplers:
+            pipeline.with_sampler(sampler)
+        if self.monitor or self.max_flows is not None:
+            pipeline.with_monitor(self.max_flows)
+        return pipeline
+
+    def execute(
+        self, parallel: str | bool | int | None = "auto", jobs: int | None = None
+    ) -> PipelineResult:
+        """Run the spec through the pipeline's execution backends.
+
+        Parameters
+        ----------
+        parallel, jobs:
+            Forwarded to :meth:`Pipeline.run
+            <repro.pipeline.pipeline.Pipeline.run>` — the result is
+            bit-identical whatever backend executes the cells.
+        """
+        if self.monitor or self.max_flows is not None:
+            # Monitor runs are serial by contract; "auto" honours that.
+            return self.build_pipeline().run(parallel="serial")
+        return self.build_pipeline().run(parallel=parallel, jobs=jobs)
+
+
+def store_key(spec: RunSpec, *, salt: str = STORE_SALT) -> str:
+    """Stable content-address of one run spec.
+
+    SHA-256 of the canonical spec's sorted-key JSON, salted with the
+    store format and library version; truncated to 24 hex characters
+    (96 bits — collision-safe for any realistic sweep).  Stable across
+    processes, machines and dict/kwargs orderings; any change to a
+    field that affects the numbers yields a different key.
+
+    >>> a = RunSpec(samplers=("periodic:period=100,phase=3",), trace="sprint", seed=1)
+    >>> b = RunSpec(samplers=("periodic:phase=3,period=100",), trace="sprint", seed=1)
+    >>> store_key(a) == store_key(b)
+    True
+    >>> store_key(a) == store_key(replace(a, seed=2))
+    False
+    """
+    payload = json.dumps(
+        {"salt": salt, "spec": spec.canonical().to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One store hit: the key, the spec that produced it, and the result."""
+
+    key: str
+    spec: RunSpec
+    result: PipelineResult
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of :meth:`RunStore.verify`: what was checked, what is wrong."""
+
+    checked: int = 0
+    ok: int = 0
+    issues: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every checked entry loaded and re-keyed correctly."""
+        return not self.issues
+
+
+class RunStore:
+    """A directory of content-addressed pipeline results.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first :meth:`put`.
+    array_format:
+        ``"json"`` (default) keeps the full result in one JSON file per
+        run; ``"npz"`` moves the per-bin metric arrays into a sibling
+        ``.npz`` (compact and mmap-able for large sweeps) and leaves
+        ``{"__npz__": name}`` references in the JSON.  A store may mix
+        formats; ``get`` handles both.
+
+    >>> import tempfile
+    >>> spec = RunSpec(samplers=("bernoulli:rate=0.5",),
+    ...                trace="sprint:duration=120,scale=0.002", num_runs=2, seed=0)
+    >>> store = RunStore(tempfile.mkdtemp())
+    >>> store.get(spec) is None
+    True
+    >>> key = store.put(spec, spec.execute())
+    >>> store.get(spec).result.num_runs
+    2
+    >>> [entry[0] == key for entry in store.list()]
+    [True]
+    """
+
+    INDEX_NAME = "index.json"
+    RUNS_DIR = "runs"
+
+    def __init__(self, root: str | Path, array_format: str = "json") -> None:
+        if array_format not in ("json", "npz"):
+            raise ValueError(f"unknown array_format {array_format!r}; expected 'json' or 'npz'")
+        self.root = Path(root)
+        self.array_format = array_format
+
+    # ------------------------------------------------------------------
+    # Paths and index
+    # ------------------------------------------------------------------
+    @property
+    def index_path(self) -> Path:
+        """Location of the fast-listing index."""
+        return self.root / self.INDEX_NAME
+
+    @property
+    def runs_dir(self) -> Path:
+        """Directory holding one artifact set per stored run."""
+        return self.root / self.RUNS_DIR
+
+    def run_path(self, key: str) -> Path:
+        """JSON artifact path of one key."""
+        return self.runs_dir / f"{key}.json"
+
+    def _npz_path(self, key: str) -> Path:
+        return self.runs_dir / f"{key}.npz"
+
+    def _load_index(self) -> dict:
+        """The parsed index, cached against the file's (mtime, size).
+
+        ``put`` is called once per sweep cell; caching the parse keeps a
+        long sweep from re-reading a growing index file on every cell,
+        while the stat check still picks up writes made by another
+        process (full reconciliation is ``gc``'s job).
+        """
+        try:
+            stat = self.index_path.stat()
+            stamp = (stat.st_mtime_ns, stat.st_size)
+        except OSError:
+            self._index_cache = None
+            return {"format": STORE_FORMAT, "salt": STORE_SALT, "entries": {}}
+        cached = getattr(self, "_index_cache", None)
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        index = json.loads(self.index_path.read_text())
+        self._index_cache = (stamp, index)
+        return index
+
+    def _write_index(self, index: dict) -> None:
+        entries = index["entries"]
+        index["entries"] = {key: entries[key] for key in sorted(entries)}
+        _atomic_write_text(self.index_path, json.dumps(index, indent=2, sort_keys=True) + "\n")
+        stat = self.index_path.stat()
+        self._index_cache = ((stat.st_mtime_ns, stat.st_size), index)
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    def key_of(self, spec: RunSpec | str) -> str:
+        """The store key of a spec (a passed string is already a key)."""
+        return spec if isinstance(spec, str) else store_key(spec)
+
+    def __contains__(self, spec: RunSpec | str) -> bool:
+        return self.run_path(self.key_of(spec)).is_file()
+
+    def put(self, spec: RunSpec, result: PipelineResult) -> str:
+        """Persist one result under its spec's key; returns the key.
+
+        Writing is idempotent (putting the same spec again overwrites
+        the artifact with equivalent contents — results are
+        deterministic functions of the spec) and **atomic**: every file
+        lands via a same-directory temp file and ``os.replace``, so a
+        sweep killed mid-write never leaves a truncated artifact that
+        a resumed sweep would mistake for a cache hit.  The NPZ sibling
+        is replaced before the JSON that references it.
+        """
+        key = store_key(spec)
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        result_dict = result.to_dict()
+        if self.array_format == "npz":
+            result_dict, arrays = _extract_arrays(result_dict)
+            buffer = io.BytesIO()
+            np.savez_compressed(buffer, **arrays)
+            _atomic_write_bytes(self._npz_path(key), buffer.getvalue())
+        payload = {
+            "key": key,
+            "salt": STORE_SALT,
+            "spec": spec.canonical().to_dict(),
+            "result": result_dict,
+        }
+        _atomic_write_text(
+            self.run_path(key), json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        index = self._load_index()
+        index["entries"][key] = spec.canonical().to_dict()
+        self._write_index(index)
+        return key
+
+    def get(self, spec: RunSpec | str) -> StoredRun | None:
+        """Load one stored run by spec or key; ``None`` on a miss."""
+        key = self.key_of(spec)
+        path = self.run_path(key)
+        if not path.is_file():
+            return None
+        payload = json.loads(path.read_text())
+        result_dict = payload["result"]
+        if _has_npz_refs(result_dict):
+            with np.load(self._npz_path(key)) as arrays:
+                result_dict = _restore_arrays(result_dict, arrays)
+        return StoredRun(
+            key=key,
+            spec=RunSpec.from_dict(payload["spec"]),
+            result=PipelineResult.from_dict(result_dict),
+        )
+
+    def list(self) -> list[tuple[str, RunSpec]]:
+        """Every indexed run as ``(key, spec)``, sorted by key.
+
+        Reads only ``index.json`` — listing a store of thousands of
+        runs does not open the artifacts.
+        """
+        index = self._load_index()
+        return [
+            (key, RunSpec.from_dict(entry))
+            for key, entry in sorted(index["entries"].items())
+        ]
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def verify(self) -> VerifyReport:
+        """Check every artifact against the cache-key contract.
+
+        For each run file: it must parse, its recorded salt must match
+        the running code's :data:`STORE_SALT`, its spec must re-hash to
+        the file's key, its result must rebuild through
+        :meth:`PipelineResult.from_dict
+        <repro.pipeline.result.PipelineResult.from_dict>`, and any NPZ
+        references must resolve.  Index entries without artifacts (and
+        artifacts missing from the index) are reported too.
+        """
+        report = VerifyReport()
+        index = self._load_index()
+        on_disk = (
+            {path.stem for path in self.runs_dir.glob("*.json")}
+            if self.runs_dir.is_dir()
+            else set()
+        )
+        for key in sorted(on_disk | set(index["entries"])):
+            report.checked += 1
+            if key not in on_disk:
+                report.issues.append((key, "indexed but artifact file is missing"))
+                continue
+            try:
+                payload = json.loads(self.run_path(key).read_text())
+            except (OSError, json.JSONDecodeError) as error:
+                report.issues.append((key, f"unreadable artifact: {error}"))
+                continue
+            problems = []
+            if payload.get("salt") != STORE_SALT:
+                problems.append(
+                    f"stale salt {payload.get('salt')!r} (current {STORE_SALT!r})"
+                )
+            try:
+                spec = RunSpec.from_dict(payload["spec"])
+                if store_key(spec) != key:
+                    problems.append("spec does not hash to its key")
+                result_dict = payload["result"]
+                if _has_npz_refs(result_dict):
+                    with np.load(self._npz_path(key)) as arrays:
+                        result_dict = _restore_arrays(result_dict, arrays)
+                PipelineResult.from_dict(result_dict)
+            except Exception as error:  # noqa: BLE001 - verify reports, never raises
+                problems.append(f"artifact does not rebuild: {error}")
+            if key not in index["entries"]:
+                problems.append("artifact present but not indexed (run gc to reindex)")
+            if problems:
+                report.issues.extend((key, problem) for problem in problems)
+            else:
+                report.ok += 1
+        return report
+
+    def gc(self) -> dict:
+        """Reconcile the index with the artifacts on disk.
+
+        Removes artifacts whose salt no longer matches (results from an
+        older code version) or that fail to parse, drops index entries
+        whose artifacts are gone, and indexes orphaned artifacts that
+        are valid.  Returns a summary dictionary with the ``removed``
+        keys, ``reindexed`` keys and the number of entries ``kept``.
+        """
+        index = self._load_index()
+        removed: list[str] = []
+        reindexed: list[str] = []
+        if self.runs_dir.is_dir():
+            for leftover in self.runs_dir.glob("*.tmp"):
+                leftover.unlink()  # interrupted atomic writes
+        on_disk = sorted(
+            {path.stem for path in self.runs_dir.glob("*.json")}
+            if self.runs_dir.is_dir()
+            else set()
+        )
+        for key in on_disk:
+            stale = False
+            try:
+                payload = json.loads(self.run_path(key).read_text())
+                stale = payload.get("salt") != STORE_SALT or store_key(
+                    RunSpec.from_dict(payload["spec"])
+                ) != key
+            except Exception:  # noqa: BLE001 - any unreadable artifact is garbage
+                stale = True
+            if stale:
+                self.run_path(key).unlink()
+                self._npz_path(key).unlink(missing_ok=True)
+                index["entries"].pop(key, None)
+                removed.append(key)
+            elif key not in index["entries"]:
+                index["entries"][key] = payload["spec"]
+                reindexed.append(key)
+        remaining = set(on_disk) - set(removed)
+        for key in sorted(set(index["entries"]) - remaining):
+            del index["entries"][key]
+            removed.append(key)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.runs_dir.mkdir(parents=True, exist_ok=True)
+        self._write_index(index)
+        return {"removed": removed, "reindexed": reindexed, "kept": len(index["entries"])}
+
+
+# ----------------------------------------------------------------------
+# Atomic file replacement
+# ----------------------------------------------------------------------
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX and Windows, so readers (and a
+    resumed sweep's hit check) only ever see the old file, the new
+    file, or no file — never a truncated one.
+    """
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(data)
+    os.replace(temp, path)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    _atomic_write_bytes(path, text.encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# NPZ array externalisation
+# ----------------------------------------------------------------------
+def _extract_arrays(result_dict: dict) -> tuple[dict, dict[str, np.ndarray]]:
+    """Replace per-series arrays with ``{"__npz__": name}`` references.
+
+    Walks the ``ranking``/``detection`` series of a ``to_dict`` payload
+    and moves every numeric list into a flat array mapping with
+    deterministic names (``arr_0``, ``arr_1``, ... in problem, label,
+    field order), so the JSON stays small and the arrays load lazily.
+    Only the dicts along the walked path are copied — the arrays (the
+    dominant payload, which is exactly what NPZ mode keeps out of the
+    JSON) are referenced, never re-serialised.
+    """
+    out = dict(result_dict)
+    arrays: dict[str, np.ndarray] = {}
+    counter = 0
+    for problem in ("ranking", "detection"):
+        series_map = {label: dict(payload) for label, payload in out.get(problem, {}).items()}
+        for payload in series_map.values():
+            for field_name in ("bin_start_times", "mean", "std", "values"):
+                name = f"arr_{counter}"
+                counter += 1
+                arrays[name] = np.asarray(payload[field_name], dtype=float)
+                payload[field_name] = {"__npz__": name}
+        out[problem] = series_map
+    return out, arrays
+
+
+def _has_npz_refs(result_dict: dict) -> bool:
+    for problem in ("ranking", "detection"):
+        for payload in result_dict.get(problem, {}).values():
+            for value in payload.values():
+                if isinstance(value, dict) and "__npz__" in value:
+                    return True
+    return False
+
+
+def _restore_arrays(result_dict: dict, arrays) -> dict:
+    """Inverse of :func:`_extract_arrays` given the loaded NPZ mapping."""
+    out = json.loads(json.dumps(result_dict))
+    for problem in ("ranking", "detection"):
+        for payload in out.get(problem, {}).values():
+            for field_name, value in payload.items():
+                if isinstance(value, dict) and "__npz__" in value:
+                    payload[field_name] = arrays[value["__npz__"]].tolist()
+    return out
+
+
+__all__ = [
+    "STORE_FORMAT",
+    "STORE_SALT",
+    "RunSpec",
+    "RunStore",
+    "StoredRun",
+    "VerifyReport",
+    "store_key",
+]

@@ -1,0 +1,397 @@
+"""Resumable sweep orchestration over the experiment store.
+
+A *sweep* is the declarative form of the paper's figure grids: a
+Cartesian product of sources (scenarios or traces), samplers, sampling
+rates and seeds, each cell one :class:`~repro.store.RunSpec`.  The
+orchestrator walks the grid in deterministic order, skips cells already
+present in a :class:`~repro.store.RunStore`, and executes the misses
+through the existing pipeline backends
+(:class:`~repro.pipeline.parallel.ExecutionPlan` serial/process) —
+so a sweep is **resumable by construction**: kill it after *k* cells,
+re-run the same command, and only the remaining cells execute; the
+final aggregates are bit-identical to an uninterrupted sweep.
+
+>>> import tempfile
+>>> from repro.store import RunStore
+>>> grid = SweepGrid(
+...     scenarios=("steady:duration=120,scale=0.002",),
+...     samplers=("bernoulli",), rates=(0.5,), seeds=(0, 1), num_runs=2,
+... )
+>>> len(grid.cells())
+2
+>>> store = RunStore(tempfile.mkdtemp())
+>>> report = run_sweep(grid, store)
+>>> (len(report.executed), len(report.cached))
+(2, 0)
+>>> report = run_sweep(grid, store)  # warm: every cell is a store hit
+>>> (len(report.executed), len(report.cached))
+(0, 2)
+
+On top of the raw cells, :func:`leaderboard_rows` ranks samplers per
+scenario by mean swapped pairs and :func:`comparison_rows` reports
+metric deltas against a named baseline sweep (another store); the CLI
+surfaces both as ``repro sweep report``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from .spec import format_spec, parse_spec
+from .store import RunSpec, RunStore, StoredRun
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """Declarative grid of runs: axes x fixed evaluation parameters.
+
+    Axes (each a tuple, Cartesian-multiplied in the order below):
+
+    ``scenarios`` / ``traces``
+        Source specs — scenario workloads (``"burst:factor=20"``) or
+        plain traces (``"sprint:scale=0.01"``).  Mutually exclusive;
+        with neither given the grid runs the default ``sprint`` trace.
+    ``samplers``
+        Sampler specs; each cell evaluates exactly one.
+    ``rates``
+        Optional sampling rates composed into each sampler spec as its
+        ``rate=`` argument (overriding any rate the spec carries).
+        Empty means: use the sampler specs as written.
+    ``seeds``
+        Pipeline seeds; one independent cell per seed.
+
+    The remaining fields (``key``, ``bin_duration``, ``top_t``,
+    ``num_runs``, ``monitor``, ``max_flows``) are fixed across the grid
+    and map straight onto :class:`~repro.store.RunSpec`.
+    """
+
+    scenarios: tuple[str, ...] = ()
+    traces: tuple[str, ...] = ()
+    samplers: tuple[str, ...] = ("bernoulli",)
+    rates: tuple[float, ...] = ()
+    seeds: tuple[int, ...] = (0,)
+    key: str = "five-tuple"
+    bin_duration: float = 60.0
+    top_t: int = 10
+    num_runs: int = 5
+    monitor: bool = False
+    max_flows: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("scenarios", "traces", "samplers", "rates", "seeds"):
+            value = getattr(self, name)
+            if isinstance(value, (str, int, float)):
+                value = (value,)
+            object.__setattr__(self, name, tuple(value))
+        if self.scenarios and self.traces:
+            raise ValueError("a sweep grid sweeps scenarios or traces, not both")
+        if not self.samplers:
+            raise ValueError("a sweep grid needs at least one sampler spec")
+        if not self.seeds:
+            raise ValueError("a sweep grid needs at least one seed")
+
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> tuple[tuple[str, str], ...]:
+        """The source axis as ``(kind, spec)`` pairs, kind in {scenario, trace}."""
+        if self.scenarios:
+            return tuple(("scenario", spec) for spec in self.scenarios)
+        return tuple(("trace", spec) for spec in (self.traces or ("sprint",)))
+
+    def sampler_specs(self) -> tuple[str, ...]:
+        """The sampler axis with the rate axis composed in.
+
+        >>> SweepGrid(samplers=("bernoulli",), rates=(0.01, 0.1)).sampler_specs()
+        ('bernoulli:rate=0.01', 'bernoulli:rate=0.1')
+        """
+        if not self.rates:
+            return self.samplers
+        composed = []
+        for spec in self.samplers:
+            name, kwargs = parse_spec(spec)
+            for rate in self.rates:
+                composed.append(format_spec(name, {**kwargs, "rate": float(rate)}))
+        return tuple(composed)
+
+    def cells(self) -> list[RunSpec]:
+        """Expand the grid into run specs, in deterministic nested order.
+
+        Source is the outermost axis, then sampler (with rate composed
+        in), then seed — the order ``repro sweep status`` lists and the
+        orchestrator executes.
+        """
+        specs: list[RunSpec] = []
+        for kind, source in self.sources:
+            for sampler in self.sampler_specs():
+                for seed in self.seeds:
+                    specs.append(
+                        RunSpec(
+                            samplers=(sampler,),
+                            trace=source if kind == "trace" else None,
+                            scenario=source if kind == "scenario" else None,
+                            key=self.key,
+                            bin_duration=self.bin_duration,
+                            top_t=self.top_t,
+                            num_runs=self.num_runs,
+                            seed=int(seed),
+                            monitor=self.monitor,
+                            max_flows=self.max_flows,
+                        ).canonical()
+                    )
+        return specs
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` invocation did.
+
+    ``executed`` and ``cached`` hold store keys in grid order;
+    ``interrupted`` is True when a ``max_cells`` budget stopped the
+    sweep before every miss was computed (the resume case).
+    """
+
+    total: int = 0
+    executed: list[str] = field(default_factory=list)
+    cached: list[str] = field(default_factory=list)
+    interrupted: bool = False
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the grid is now in the store."""
+        return not self.interrupted and (
+            len(self.executed) + len(self.cached) == self.total
+        )
+
+
+def run_sweep(
+    grid: SweepGrid,
+    store: RunStore,
+    *,
+    parallel: str | bool | int | None = "auto",
+    jobs: int | None = None,
+    max_cells: int | None = None,
+    progress: Callable[[str, int, int, RunSpec], None] | None = None,
+) -> SweepReport:
+    """Execute every missing cell of the grid and persist it in the store.
+
+    Cells already in the store are skipped (a warm re-run touches no
+    pipeline code at all); each miss is executed through
+    :meth:`RunSpec.execute <repro.store.RunSpec.execute>` — i.e. the
+    standard :class:`~repro.pipeline.parallel.ExecutionPlan` backends —
+    and written back before the next cell starts, so an interrupted
+    sweep loses at most the cell in flight.
+
+    Parameters
+    ----------
+    grid, store:
+        The declarative grid and the store that caches its cells.
+    parallel, jobs:
+        Backend selection per cell, as in :meth:`Pipeline.run
+        <repro.pipeline.pipeline.Pipeline.run>`.
+    max_cells:
+        Execute at most this many misses, then stop and mark the report
+        ``interrupted`` — the hook the kill-and-resume tests (and CI)
+        use to interrupt a sweep deterministically.
+    progress:
+        Optional callback ``(event, index, total, spec)`` with event
+        ``"hit"`` or ``"run"``, called before each cell is handled.
+
+    Returns
+    -------
+    SweepReport
+        Keys of the executed and cache-hit cells, in grid order.
+    """
+    cells = grid.cells()
+    report = SweepReport(total=len(cells))
+    for index, spec in enumerate(cells):
+        if spec in store:
+            if progress is not None:
+                progress("hit", index, len(cells), spec)
+            report.cached.append(store.key_of(spec))
+            continue
+        if max_cells is not None and len(report.executed) >= max_cells:
+            report.interrupted = True
+            break
+        if progress is not None:
+            progress("run", index, len(cells), spec)
+        report.executed.append(store.put(spec, spec.execute(parallel=parallel, jobs=jobs)))
+    return report
+
+
+def sweep_status(grid: SweepGrid, store: RunStore) -> dict:
+    """Coverage of the grid in the store, without executing anything.
+
+    Returns a dict with ``total``, ``cached``, ``missing`` counts and a
+    ``cells`` list of ``(key, cached, spec)`` in grid order.
+    """
+    cells = grid.cells()
+    rows = [(store.key_of(spec), spec in store, spec) for spec in cells]
+    cached = sum(1 for _, hit, _ in rows if hit)
+    return {
+        "total": len(cells),
+        "cached": cached,
+        "missing": len(cells) - cached,
+        "cells": rows,
+    }
+
+
+def collect(grid: SweepGrid, store: RunStore, *, strict: bool = True) -> list[StoredRun]:
+    """Load the grid's stored results, in grid order.
+
+    Parameters
+    ----------
+    strict:
+        When True (default) a missing cell raises ``KeyError`` — run
+        the sweep first; when False missing cells are silently skipped
+        (partial reports while a sweep is still running).
+    """
+    runs: list[StoredRun] = []
+    for spec in grid.cells():
+        stored = store.get(spec)
+        if stored is None:
+            if strict:
+                raise KeyError(
+                    f"sweep cell {store.key_of(spec)} is not in the store; "
+                    "run `repro sweep run` first"
+                )
+            continue
+        runs.append(stored)
+    return runs
+
+
+# ----------------------------------------------------------------------
+# Aggregation / comparison
+# ----------------------------------------------------------------------
+def _source_label(spec: RunSpec) -> str:
+    return spec.scenario if spec.scenario is not None else (spec.trace or "sprint")
+
+
+def aggregate_rows(runs: list[StoredRun]) -> list[dict]:
+    """Flat per-cell rows: one per (source, sampler, seed, problem).
+
+    The bit-identity currency of the resumability contract: the rows of
+    an interrupted-then-resumed sweep equal those of an uninterrupted
+    one exactly, floats and order included.
+    """
+    rows: list[dict] = []
+    for stored in runs:
+        for summary_row in stored.result.summary_rows():
+            rows.append(
+                {
+                    "source": _source_label(stored.spec),
+                    "seed": stored.spec.seed,
+                    "key": stored.key,
+                    **summary_row,
+                }
+            )
+    return rows
+
+
+def leaderboard_rows(runs: list[StoredRun], problem: str = "ranking") -> list[dict]:
+    """Per-source sampler leaderboard: mean swapped pairs over seeds, best first.
+
+    Groups the cells by (source, sampler label), averages the overall
+    mean swapped pairs and the acceptable-bin fraction across seeds,
+    and ranks samplers per source by ascending error.  Ties break by
+    sampler label, so the table is fully deterministic.
+    """
+    if problem not in ("ranking", "detection"):
+        raise ValueError(f"unknown problem {problem!r}; expected 'ranking' or 'detection'")
+    grouped: dict[tuple[str, str], dict] = {}
+    for stored in runs:
+        source = _source_label(stored.spec)
+        result = stored.result
+        store_map = result.ranking if problem == "ranking" else result.detection
+        for summary in result.samplers:
+            series = store_map.get(summary.label)
+            if series is None:
+                continue
+            entry = grouped.setdefault(
+                (source, summary.label),
+                {
+                    "source": source,
+                    "sampler": summary.label,
+                    "problem": problem,
+                    "rate": summary.effective_rate,
+                    "seeds": 0,
+                    "mean_swapped_pairs": 0.0,
+                    "fraction_bins_acceptable": 0.0,
+                },
+            )
+            entry["seeds"] += 1
+            entry["mean_swapped_pairs"] += series.overall_mean
+            entry["fraction_bins_acceptable"] += series.fraction_of_bins_acceptable()
+    rows = []
+    for entry in grouped.values():
+        seeds = entry.pop("seeds")
+        entry["mean_swapped_pairs"] /= seeds
+        entry["fraction_bins_acceptable"] /= seeds
+        entry["num_seeds"] = seeds
+        rows.append(entry)
+    rows.sort(key=lambda row: (row["source"], row["mean_swapped_pairs"], row["sampler"]))
+    rank = 0
+    current_source = None
+    for row in rows:
+        rank = rank + 1 if row["source"] == current_source else 1
+        current_source = row["source"]
+        row["rank"] = rank
+    return rows
+
+
+def comparison_rows(
+    runs: list[StoredRun], baseline_store: RunStore, problem: str = "ranking"
+) -> list[dict]:
+    """Metric deltas of this sweep against the same cells of a baseline store.
+
+    For every cell present in both stores (matched by spec key — the
+    baseline must have been swept with the same grid), reports the mean
+    swapped pairs here, in the baseline, and the delta (negative =
+    better than baseline).  Cells missing from the baseline are listed
+    with ``baseline=None``.
+    """
+    if problem not in ("ranking", "detection"):
+        raise ValueError(f"unknown problem {problem!r}; expected 'ranking' or 'detection'")
+    rows: list[dict] = []
+    for stored in runs:
+        baseline = baseline_store.get(stored.spec)
+        store_map = (
+            stored.result.ranking if problem == "ranking" else stored.result.detection
+        )
+        for summary in stored.result.samplers:
+            series = store_map.get(summary.label)
+            if series is None:
+                continue
+            row = {
+                "source": _source_label(stored.spec),
+                "seed": stored.spec.seed,
+                "sampler": summary.label,
+                "problem": problem,
+                "mean_swapped_pairs": series.overall_mean,
+                "baseline_mean_swapped_pairs": None,
+                "delta": None,
+            }
+            if baseline is not None:
+                base_map = (
+                    baseline.result.ranking
+                    if problem == "ranking"
+                    else baseline.result.detection
+                )
+                base_series = base_map.get(summary.label)
+                if base_series is not None:
+                    row["baseline_mean_swapped_pairs"] = base_series.overall_mean
+                    row["delta"] = series.overall_mean - base_series.overall_mean
+            rows.append(row)
+    return rows
+
+
+__all__ = [
+    "SweepGrid",
+    "SweepReport",
+    "aggregate_rows",
+    "collect",
+    "comparison_rows",
+    "leaderboard_rows",
+    "run_sweep",
+    "sweep_status",
+]

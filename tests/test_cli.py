@@ -254,6 +254,161 @@ class TestRunCommand:
         assert "multilink" in output
 
 
+class TestRunStoreFlags:
+    RUN_ARGS = [
+        "run",
+        "--scale", "0.002",
+        "--duration", "120",
+        "--sampler", "bernoulli:rate=0.5",
+        "--runs", "2",
+    ]
+
+    def test_run_store_caches_and_reuses(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(self.RUN_ARGS + ["--store", store_dir]) == 0
+        first = capsys.readouterr().out
+        assert f"stored in {store_dir}" in first
+        assert main(self.RUN_ARGS + ["--store", store_dir]) == 0
+        second = capsys.readouterr().out
+        assert f"loaded from {store_dir}" in second
+        # The rendered table is identical live vs reloaded-from-store.
+        assert first.split("\nstored in")[0] == second.split("\nloaded from")[0]
+
+    def test_run_store_key_changes_with_seed(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        assert main(self.RUN_ARGS + ["--store", store_dir, "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(self.RUN_ARGS + ["--store", store_dir, "--seed", "2"]) == 0
+        assert "stored in" in capsys.readouterr().out  # a different cell, not a hit
+
+    def test_run_json_dump(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "result.json"
+        assert main(self.RUN_ARGS + ["--json", str(path)]) == 0
+        assert "wrote result JSON" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert data["num_runs"] == 2
+        from repro.pipeline.result import PipelineResult
+
+        assert PipelineResult.from_dict(data).to_dict() == data
+
+
+class TestSweepCommand:
+    GRID_ARGS = [
+        "--scenario", "steady",
+        "--sampler", "bernoulli",
+        "--rates", "0.1", "0.5",
+        "--seeds", "0",
+        "--scale", "0.002",
+        "--duration", "120",
+        "--runs", "2",
+    ]
+
+    def test_sweep_run_status_report_cycle(self, capsys, tmp_path):
+        store = ["--store", str(tmp_path / "store")]
+        assert main(["sweep", "status"] + store + self.GRID_ARGS) == 0
+        assert "0/2 cells cached" in capsys.readouterr().out
+
+        assert main(["sweep", "run"] + store + self.GRID_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "executed 2 cell(s), reused 0 cached cell(s)" in output
+        assert "sweep complete" in output
+
+        assert main(["sweep", "run"] + store + self.GRID_ARGS) == 0
+        assert "executed 0 cell(s), reused 2 cached cell(s)" in capsys.readouterr().out
+
+        assert main(["sweep", "status"] + store + self.GRID_ARGS) == 0
+        assert "2/2 cells cached" in capsys.readouterr().out
+
+        assert main(["sweep", "report"] + store + self.GRID_ARGS) == 0
+        report = capsys.readouterr().out
+        assert "sweep leaderboard" in report
+        assert "bernoulli:rate=0.5" in report
+
+    def test_sweep_max_cells_then_resume(self, capsys, tmp_path):
+        store = ["--store", str(tmp_path / "store")]
+        assert main(["sweep", "run", "--max-cells", "1"] + store + self.GRID_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "executed 1 cell(s)" in output
+        assert "re-run the same command to resume" in output
+        assert main(["sweep", "run"] + store + self.GRID_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "executed 1 cell(s), reused 1 cached cell(s)" in output
+        assert "sweep complete" in output
+
+    def test_sweep_report_with_baseline(self, capsys, tmp_path):
+        store = ["--store", str(tmp_path / "store")]
+        assert main(["sweep", "run"] + store + self.GRID_ARGS) == 0
+        capsys.readouterr()
+        baseline = ["--baseline-store", str(tmp_path / "store")]
+        assert main(["sweep", "report"] + store + baseline + self.GRID_ARGS) == 0
+        output = capsys.readouterr().out
+        assert "sweep comparison vs baseline" in output
+        assert "+0" in output  # identical stores -> zero deltas
+
+    def test_sweep_partial_report_counts_missing(self, capsys, tmp_path):
+        store = ["--store", str(tmp_path / "store")]
+        assert main(["sweep", "run", "--max-cells", "1"] + store + self.GRID_ARGS) == 0
+        capsys.readouterr()
+        assert main(["sweep", "report"] + store + self.GRID_ARGS) == 0
+        assert "1 cell(s) not in the store yet" in capsys.readouterr().out
+
+    def test_sweep_scenario_trace_conflict(self, capsys, tmp_path):
+        assert main(
+            ["sweep", "run", "--store", str(tmp_path / "s"),
+             "--scenario", "steady", "--trace", "sprint"]
+        ) == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_sweep_npz_format(self, capsys, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(
+            ["sweep", "run", "--array-format", "npz", "--store", str(store_dir)]
+            + self.GRID_ARGS
+        ) == 0
+        assert list((store_dir / "runs").glob("*.npz"))
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path) -> str:
+        store_dir = str(tmp_path / "store")
+        assert main(
+            ["run", "--scale", "0.002", "--duration", "120",
+             "--sampler", "bernoulli:rate=0.5", "--runs", "1", "--store", store_dir]
+        ) == 0
+        return store_dir
+
+    def test_store_ls(self, capsys, tmp_path):
+        store_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "ls", "--store", store_dir]) == 0
+        output = capsys.readouterr().out
+        assert "1 stored run(s)" in output
+        assert "bernoulli:rate=0.5" in output
+
+    def test_store_verify_clean_and_corrupt(self, capsys, tmp_path):
+        from repro.store import RunStore
+
+        store_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", "--store", store_dir]) == 0
+        assert "1 ok, 0 issue(s)" in capsys.readouterr().out
+        key = RunStore(store_dir).list()[0][0]
+        RunStore(store_dir).run_path(key).write_text("{broken")
+        assert main(["store", "verify", "--store", store_dir]) == 0
+        assert "unreadable artifact" in capsys.readouterr().out
+
+    def test_store_gc(self, capsys, tmp_path):
+        from repro.store import RunStore
+
+        store_dir = self._populate(tmp_path)
+        capsys.readouterr()
+        RunStore(store_dir).index_path.unlink()
+        assert main(["store", "gc", "--store", store_dir]) == 0
+        assert "reindexed 1" in capsys.readouterr().out
+
+
 class TestScenariosCommand:
     def test_lists_every_registered_scenario(self, capsys):
         from repro.scenarios import SCENARIOS

@@ -35,6 +35,7 @@ DOC_PAGES = (
     "pipeline.md",
     "traces.md",
     "flows.md",
+    "sweeps.md",
     "registry.md",
     "cli.md",
 )
@@ -115,6 +116,8 @@ class TestCliDocs:
         text = (DOCS / "cli.md").read_text()
         for subcommand in (
             "repro run",
+            "repro sweep",
+            "repro store",
             "repro scenarios",
             "repro figure",
             "repro plan",
@@ -124,6 +127,25 @@ class TestCliDocs:
         assert "--jobs" in text
         assert "--scenario" in text
         assert "--chunk-packets" in text
+        for flag in ("--store", "--json", "--max-cells", "--baseline-store", "--seeds"):
+            assert flag in text, f"cli.md does not document {flag}"
+        for store_subcommand in ("store ls", "store verify", "store gc"):
+            assert store_subcommand in text
+
+    def test_sweeps_page_covers_the_contract(self):
+        """docs/sweeps.md documents the pieces the store contract names."""
+        text = (DOCS / "sweeps.md").read_text()
+        for term in (
+            "index.json",
+            "store_key",
+            "canonical",
+            "salt",
+            "RunSpec",
+            "resume",
+            "bit-identical",
+            "--max-cells",
+        ):
+            assert term in text, f"sweeps.md does not mention {term}"
 
     def test_documented_scenario_specs_parse(self):
         """Every scenario spec quoted in the docs resolves to a factory."""

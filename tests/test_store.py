@@ -1,0 +1,388 @@
+"""Tests for the persistent experiment store (:mod:`repro.store`).
+
+Covers the three contracts the store documents:
+
+* **Result round trip** — ``PipelineResult.from_dict`` is the exact
+  inverse of ``to_dict``, including through a JSON dump and for
+  monitor/source/scenario fields (property-based with hypothesis);
+* **Key stability** — the same spec hashes identically across
+  processes and across dict/kwargs orderings, and changing any field
+  changes the key (hypothesis);
+* **Store operations** — put/get/list/verify/gc over JSON and NPZ
+  artifacts, salt invalidation, corrupt-artifact handling.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.result import PipelineResult, SamplerSummary
+from repro.simulation.results import MetricSeries
+from repro.store import STORE_SALT, RunSpec, RunStore, store_key
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+SPEC = RunSpec(
+    samplers=("bernoulli:rate=0.5",),
+    trace="sprint:duration=120,scale=0.002",
+    num_runs=2,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="module")
+def result() -> PipelineResult:
+    """One small executed pipeline result shared by the module's tests."""
+    return SPEC.execute()
+
+
+# ----------------------------------------------------------------------
+# PipelineResult.from_dict round trip
+# ----------------------------------------------------------------------
+finite_floats = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def pipeline_results(draw) -> PipelineResult:
+    """Random but structurally valid results, monitor fields included."""
+    num_runs = draw(st.integers(min_value=1, max_value=3))
+    num_bins = draw(st.integers(min_value=1, max_value=4))
+    labels = draw(
+        st.lists(
+            st.text(
+                alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    monitor = draw(st.booleans())
+    starts = np.arange(num_bins, dtype=float) * 60.0
+    result = PipelineResult(
+        flow_definition=draw(st.sampled_from(["5-tuple", "/24 prefix"])),
+        bin_duration=60.0,
+        top_t=draw(st.integers(min_value=1, max_value=10)),
+        num_runs=num_runs,
+        flows_per_bin=draw(finite_floats),
+        total_packets=draw(st.integers(min_value=0, max_value=10**9)),
+        streamed=draw(st.booleans()),
+        monitor=monitor,
+        max_flows=draw(st.one_of(st.none(), st.integers(min_value=1, max_value=10**6)))
+        if monitor
+        else None,
+        source=draw(st.one_of(st.none(), st.just("flow-trace(sprint)"))),
+        scenario=draw(st.one_of(st.none(), st.just("burst"))),
+    )
+    for index, label in enumerate(labels):
+        rate = float(0.01 * (index + 1))
+        result.samplers.append(SamplerSummary(label=label, effective_rate=rate))
+        values = draw(
+            st.lists(
+                st.lists(finite_floats, min_size=num_bins, max_size=num_bins),
+                min_size=num_runs,
+                max_size=num_runs,
+            )
+        )
+        result.ranking[label] = MetricSeries(
+            problem="ranking",
+            sampling_rate=rate,
+            bin_start_times=starts,
+            values=np.asarray(values, dtype=float),
+        )
+        result.detection[label] = MetricSeries(
+            problem="detection",
+            sampling_rate=rate,
+            bin_start_times=starts,
+            values=np.asarray(values, dtype=float) * 0.5,
+        )
+        if monitor:
+            result.evictions[label] = [index] * num_runs
+    return result
+
+
+class TestResultRoundTrip:
+    @given(result=pipeline_results())
+    @settings(max_examples=40, deadline=None)
+    def test_from_dict_is_exact_inverse_of_to_dict(self, result):
+        data = result.to_dict()
+        assert PipelineResult.from_dict(data).to_dict() == data
+
+    @given(result=pipeline_results())
+    @settings(max_examples=20, deadline=None)
+    def test_round_trip_survives_json(self, result):
+        data = result.to_dict()
+        rebuilt = PipelineResult.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.to_dict() == data
+
+    def test_real_result_round_trips(self, result):
+        data = result.to_dict()
+        rebuilt = PipelineResult.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt.to_dict() == data
+        assert rebuilt.labels == result.labels
+        assert rebuilt.series("ranking", "bernoulli:rate=0.5").num_runs == 2
+
+    def test_monitor_fields_round_trip(self):
+        spec = replace(SPEC, monitor=True, max_flows=64)
+        result = spec.execute()
+        rebuilt = PipelineResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.monitor is True
+        assert rebuilt.max_flows == 64
+        assert rebuilt.evictions == result.evictions
+
+    def test_to_dict_is_json_safe(self, result):
+        # Every value must be a plain Python type: json.dumps raises on
+        # stray NumPy scalars, so this doubles as a type audit.
+        json.dumps(result.to_dict())
+
+
+# ----------------------------------------------------------------------
+# Store-key stability
+# ----------------------------------------------------------------------
+spec_field_strategies = {
+    "samplers": st.sampled_from(
+        [("bernoulli:rate=0.1",), ("periodic:rate=0.1",), ("bernoulli:rate=0.1", "hash:rate=0.2")]
+    ),
+    "key": st.sampled_from(["five-tuple", "prefix:prefix_length=24"]),
+    "bin_duration": st.sampled_from([30.0, 60.0, 120.0]),
+    "top_t": st.integers(min_value=1, max_value=50),
+    "num_runs": st.integers(min_value=1, max_value=30),
+    "seed": st.integers(min_value=0, max_value=2**31),
+    "monitor": st.booleans(),
+}
+
+
+class TestStoreKeyStability:
+    def test_key_is_stable_across_processes(self):
+        # The same spec must hash identically in a fresh interpreter —
+        # no dependence on PYTHONHASHSEED, dict iteration or import
+        # order.
+        code = (
+            "import sys; sys.path.insert(0, {src!r})\n"
+            "from repro.store import RunSpec, store_key\n"
+            "spec = RunSpec(samplers=('bernoulli:rate=0.5',),\n"
+            "               trace='sprint:duration=120,scale=0.002', num_runs=2, seed=0)\n"
+            "print(store_key(spec))\n"
+        ).format(src=str(REPO_SRC))
+        child = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True, check=True
+        )
+        assert child.stdout.strip() == store_key(SPEC)
+
+    def test_key_independent_of_spec_kwargs_order(self):
+        a = replace(SPEC, samplers=("periodic:period=100,phase=3",))
+        b = replace(SPEC, samplers=("periodic:phase=3,period=100",))
+        assert store_key(a) == store_key(b)
+
+    def test_key_independent_of_trace_kwargs_order(self):
+        a = replace(SPEC, trace="sprint:duration=120,scale=0.002")
+        b = replace(SPEC, trace="sprint:scale=0.002,duration=120")
+        assert store_key(a) == store_key(b)
+
+    @given(
+        field=st.sampled_from(sorted(spec_field_strategies)),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_changed_field_changes_the_key(self, field, data):
+        value = data.draw(spec_field_strategies[field])
+        changed = replace(SPEC, **{field: value})
+        if changed.canonical() == SPEC.canonical():
+            assert store_key(changed) == store_key(SPEC)
+        else:
+            assert store_key(changed) != store_key(SPEC)
+
+    def test_key_independent_of_int_float_spelling(self):
+        # The CLI folds --duration in as a float (120.0) while a spec
+        # may spell it 120; both describe the same run and must share a
+        # cache cell.
+        a = replace(SPEC, trace="sprint:duration=120,scale=0.002")
+        b = replace(SPEC, trace="sprint:duration=120.0,scale=0.002")
+        assert store_key(a) == store_key(b)
+        assert a.canonical() == b.canonical()
+
+    def test_trace_vs_scenario_differ(self):
+        trace = replace(SPEC, trace="sprint", scenario=None)
+        scenario = replace(SPEC, trace=None, scenario="sprint")
+        assert store_key(trace) != store_key(scenario)
+
+    def test_salt_changes_the_key(self):
+        assert store_key(SPEC) != store_key(SPEC, salt=STORE_SALT + "-other")
+
+    def test_unseeded_spec_rejected(self):
+        with pytest.raises(ValueError, match="seeded"):
+            RunSpec(samplers=("bernoulli",), trace="sprint", seed=None)
+
+    def test_trace_and_scenario_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="mutually exclusive"):
+            RunSpec(samplers=("bernoulli",), trace="sprint", scenario="steady")
+
+    def test_spec_dict_round_trip(self):
+        assert RunSpec.from_dict(SPEC.to_dict()) == SPEC
+        assert RunSpec.from_dict(json.loads(json.dumps(SPEC.to_dict()))) == SPEC
+
+
+# ----------------------------------------------------------------------
+# Store operations
+# ----------------------------------------------------------------------
+class TestRunStore:
+    @pytest.mark.parametrize("array_format", ["json", "npz"])
+    def test_put_get_round_trip(self, tmp_path, result, array_format):
+        store = RunStore(tmp_path / "store", array_format=array_format)
+        assert store.get(SPEC) is None
+        assert SPEC not in store
+        key = store.put(SPEC, result)
+        assert SPEC in store
+        stored = store.get(SPEC)
+        assert stored.key == key
+        assert stored.spec == SPEC.canonical()
+        assert stored.result.to_dict() == result.to_dict()
+
+    def test_get_by_key_string(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        key = store.put(SPEC, result)
+        assert store.get(key).result.to_dict() == result.to_dict()
+
+    def test_npz_artifacts_exist_and_json_is_small(self, tmp_path, result):
+        store = RunStore(tmp_path / "store", array_format="npz")
+        key = store.put(SPEC, result)
+        assert (store.runs_dir / f"{key}.npz").is_file()
+        payload = json.loads(store.run_path(key).read_text())
+        assert payload["result"]["ranking"][result.labels[0]]["values"] == {
+            "__npz__": payload["result"]["ranking"][result.labels[0]]["values"]["__npz__"]
+        }
+
+    def test_put_is_idempotent(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        key = store.put(SPEC, result)
+        first = store.run_path(key).read_bytes()
+        assert store.put(SPEC, result) == key
+        assert store.run_path(key).read_bytes() == first
+
+    def test_list_reads_only_the_index(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        key = store.put(SPEC, result)
+        entries = store.list()
+        assert [entry[0] for entry in entries] == [key]
+        assert entries[0][1] == SPEC.canonical()
+        # Listing must not require the artifacts themselves.
+        store.run_path(key).unlink()
+        assert [entry[0] for entry in store.list()] == [key]
+
+    def test_verify_clean_store(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        store.put(SPEC, result)
+        report = store.verify()
+        assert report.clean and report.ok == report.checked == 1
+
+    def test_verify_flags_missing_artifact(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        key = store.put(SPEC, result)
+        store.run_path(key).unlink()
+        report = store.verify()
+        assert not report.clean
+        assert any("missing" in problem for _, problem in report.issues)
+
+    def test_verify_flags_corrupt_artifact_and_stale_salt(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        key = store.put(SPEC, result)
+        payload = json.loads(store.run_path(key).read_text())
+        payload["salt"] = "repro-store/0/repro/0.0.0"
+        store.run_path(key).write_text(json.dumps(payload))
+        report = store.verify()
+        assert any("salt" in problem for _, problem in report.issues)
+        store.run_path(key).write_text("{not json")
+        report = store.verify()
+        assert any("unreadable" in problem for _, problem in report.issues)
+
+    def test_gc_removes_stale_and_reindexes_orphans(self, tmp_path, result):
+        store = RunStore(tmp_path / "store")
+        key = store.put(SPEC, result)
+        # Orphan: drop the index; gc must rebuild it from the artifact.
+        store.index_path.unlink()
+        summary = store.gc()
+        assert summary["reindexed"] == [key] and summary["kept"] == 1
+        assert store.verify().clean
+        # Stale: corrupt the artifact; gc must remove it everywhere.
+        store.run_path(key).write_text("{not json")
+        summary = store.gc()
+        assert summary["removed"] == [key] and summary["kept"] == 0
+        assert store.list() == []
+        assert store.verify().checked == 0
+
+    @pytest.mark.parametrize("array_format", ["json", "npz"])
+    def test_writes_are_atomic(self, tmp_path, result, array_format):
+        # Artifacts land via temp file + os.replace: no .tmp leftovers
+        # after a put, and gc clears any stray ones an interrupted
+        # write might leave behind.
+        store = RunStore(tmp_path / "store", array_format=array_format)
+        store.put(SPEC, result)
+        assert not list(store.runs_dir.glob("*.tmp"))
+        assert not list((tmp_path / "store").glob("*.tmp"))
+        (store.runs_dir / "deadbeef.json.tmp").write_text("{truncated")
+        store.gc()
+        assert not list(store.runs_dir.glob("*.tmp"))
+        assert store.verify().clean
+
+    def test_extract_arrays_does_not_mutate_the_result_dict(self, result):
+        from repro.store import _extract_arrays
+
+        data = result.to_dict()
+        reference = json.loads(json.dumps(data))
+        slimmed, arrays = _extract_arrays(data)
+        assert json.loads(json.dumps(data)) == reference  # input untouched
+        assert arrays and all(
+            isinstance(payload[name], dict) and "__npz__" in payload[name]
+            for payload in slimmed["ranking"].values()
+            for name in ("bin_start_times", "mean", "std", "values")
+        )
+
+    def test_bad_array_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="array_format"):
+            RunStore(tmp_path, array_format="parquet")
+
+
+class TestRenderDeterminism:
+    def test_reloaded_result_renders_identically(self, result):
+        from repro.experiments.report import render_pipeline_result
+
+        reloaded = PipelineResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert render_pipeline_result(reloaded) == render_pipeline_result(result)
+
+    def test_reloaded_monitor_result_renders_identically(self):
+        from repro.experiments.report import render_pipeline_result
+
+        result = replace(SPEC, monitor=True, max_flows=64).execute()
+        reloaded = PipelineResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert render_pipeline_result(reloaded) == render_pipeline_result(result)
+
+    def test_stored_result_renders_identically(self, tmp_path, result):
+        from repro.experiments.report import render_pipeline_result
+
+        for array_format in ("json", "npz"):
+            store = RunStore(tmp_path / array_format, array_format=array_format)
+            store.put(SPEC, result)
+            assert render_pipeline_result(store.get(SPEC).result) == render_pipeline_result(
+                result
+            )
+
+    def test_csv_export_identical_after_reload(self, result):
+        reloaded = PipelineResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert reloaded.to_csv() == result.to_csv()
+
+    def test_summary_rows_identical_after_reload(self, result):
+        reloaded = PipelineResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert reloaded.summary_rows() == result.summary_rows()

@@ -1,0 +1,227 @@
+"""Tests for the resumable sweep orchestrator (:mod:`repro.sweep`).
+
+The headline contract — pinned by
+``TestResumability.test_interrupted_sweep_resumes_bit_identically`` —
+is the ISSUE's acceptance criterion: interrupt a grid sweep after *k*
+cells, re-run it, and the final aggregate is bit-identical to an
+uninterrupted sweep, with exactly the remaining cells executed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import RunSpec, RunStore
+from repro.sweep import (
+    SweepGrid,
+    aggregate_rows,
+    collect,
+    comparison_rows,
+    leaderboard_rows,
+    run_sweep,
+    sweep_status,
+)
+
+#: Tiny but non-trivial grid: 2 scenarios x 1 sampler x 2 rates x 1 seed.
+GRID = SweepGrid(
+    scenarios=("steady:duration=120,scale=0.002", "burst:duration=120,scale=0.002"),
+    samplers=("bernoulli",),
+    rates=(0.1, 0.5),
+    seeds=(0,),
+    num_runs=2,
+)
+
+
+class TestGridExpansion:
+    def test_cells_are_deterministic_and_canonical(self):
+        cells = GRID.cells()
+        assert len(cells) == 4
+        assert cells == GRID.cells()
+        assert all(spec == spec.canonical() for spec in cells)
+        # Source is the outer axis, then sampler(+rate), then seed.
+        assert [spec.scenario for spec in cells] == [
+            "steady:duration=120,scale=0.002",
+            "steady:duration=120,scale=0.002",
+            "burst:duration=120,scale=0.002",
+            "burst:duration=120,scale=0.002",
+        ]
+        assert [spec.samplers[0] for spec in cells[:2]] == [
+            "bernoulli:rate=0.1",
+            "bernoulli:rate=0.5",
+        ]
+
+    def test_rate_axis_composes_into_sampler_specs(self):
+        grid = SweepGrid(samplers=("periodic:phase=3",), rates=(0.01,))
+        assert grid.sampler_specs() == ("periodic:phase=3,rate=0.01",)
+
+    def test_rate_axis_overrides_spec_rate(self):
+        grid = SweepGrid(samplers=("bernoulli:rate=0.9",), rates=(0.1,))
+        assert grid.sampler_specs() == ("bernoulli:rate=0.1",)
+
+    def test_without_rates_samplers_pass_through(self):
+        grid = SweepGrid(samplers=("bernoulli:rate=0.2",))
+        assert grid.sampler_specs() == ("bernoulli:rate=0.2",)
+
+    def test_trace_axis(self):
+        grid = SweepGrid(traces=("sprint:scale=0.002,duration=120",), seeds=(0, 1))
+        cells = grid.cells()
+        assert len(cells) == 2
+        assert all(spec.scenario is None for spec in cells)
+        assert [spec.seed for spec in cells] == [0, 1]
+
+    def test_default_source_is_sprint(self):
+        assert SweepGrid().cells()[0].trace == "sprint"
+
+    def test_scenarios_and_traces_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            SweepGrid(scenarios=("steady",), traces=("sprint",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError, match="sampler"):
+            SweepGrid(samplers=())
+        with pytest.raises(ValueError, match="seed"):
+            SweepGrid(seeds=())
+
+
+class TestResumability:
+    @pytest.mark.parametrize("interrupt_after", [1, 2, 3])
+    def test_interrupted_sweep_resumes_bit_identically(self, tmp_path, interrupt_after):
+        # Reference: one uninterrupted sweep.
+        reference_store = RunStore(tmp_path / "reference")
+        reference_report = run_sweep(GRID, reference_store)
+        assert len(reference_report.executed) == 4 and reference_report.complete
+
+        # Interrupted sweep: stop after k cells, then resume.
+        resumed_store = RunStore(tmp_path / "resumed")
+        first = run_sweep(GRID, resumed_store, max_cells=interrupt_after)
+        assert len(first.executed) == interrupt_after
+        assert first.interrupted and not first.complete
+
+        second = run_sweep(GRID, resumed_store)
+        # Exactly the remaining cells executed, every earlier cell reused.
+        assert len(second.executed) == 4 - interrupt_after
+        assert second.cached == first.executed
+        assert second.complete
+        assert set(second.executed).isdisjoint(second.cached)
+
+        # The final aggregate is bit-identical to the uninterrupted sweep.
+        reference_runs = collect(GRID, reference_store)
+        resumed_runs = collect(GRID, resumed_store)
+        assert [run.key for run in resumed_runs] == [run.key for run in reference_runs]
+        for resumed, reference in zip(resumed_runs, reference_runs):
+            assert resumed.result.to_dict() == reference.result.to_dict()
+        assert aggregate_rows(resumed_runs) == aggregate_rows(reference_runs)
+        assert leaderboard_rows(resumed_runs) == leaderboard_rows(reference_runs)
+
+    def test_warm_rerun_executes_nothing(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        cold = run_sweep(GRID, store)
+        assert len(cold.executed) == 4
+        warm = run_sweep(GRID, store)
+        assert warm.executed == []
+        assert warm.cached == cold.executed
+        assert warm.complete
+
+    def test_progress_callback_sees_every_cell(self, tmp_path):
+        store = RunStore(tmp_path / "store")
+        events: list[tuple[str, int]] = []
+        run_sweep(GRID, store, progress=lambda event, i, total, spec: events.append((event, i)))
+        assert events == [("run", 0), ("run", 1), ("run", 2), ("run", 3)]
+        events.clear()
+        run_sweep(GRID, store, progress=lambda event, i, total, spec: events.append((event, i)))
+        assert events == [("hit", 0), ("hit", 1), ("hit", 2), ("hit", 3)]
+
+
+class TestStatusAndAggregation:
+    @pytest.fixture(scope="class")
+    def swept(self, tmp_path_factory):
+        store = RunStore(tmp_path_factory.mktemp("sweep") / "store")
+        run_sweep(GRID, store)
+        return store
+
+    def test_status_counts(self, swept, tmp_path):
+        status = sweep_status(GRID, swept)
+        assert (status["total"], status["cached"], status["missing"]) == (4, 4, 0)
+        empty = sweep_status(GRID, RunStore(tmp_path / "empty"))
+        assert (empty["total"], empty["cached"], empty["missing"]) == (4, 0, 4)
+
+    def test_collect_strict_raises_on_missing(self, tmp_path):
+        with pytest.raises(KeyError, match="not in the store"):
+            collect(GRID, RunStore(tmp_path / "empty"))
+        assert collect(GRID, RunStore(tmp_path / "empty"), strict=False) == []
+
+    def test_aggregate_rows_shape(self, swept):
+        rows = aggregate_rows(collect(GRID, swept))
+        # 4 cells x 2 problems x 1 sampler.
+        assert len(rows) == 8
+        assert {row["problem"] for row in rows} == {"ranking", "detection"}
+        assert all(row["seed"] == 0 for row in rows)
+
+    def test_leaderboard_ranks_per_source(self, swept):
+        rows = leaderboard_rows(collect(GRID, swept))
+        assert len(rows) == 4  # 2 sources x 2 samplers
+        by_source: dict[str, list[dict]] = {}
+        for row in rows:
+            by_source.setdefault(row["source"], []).append(row)
+        for source_rows in by_source.values():
+            assert [row["rank"] for row in source_rows] == [1, 2]
+            means = [row["mean_swapped_pairs"] for row in source_rows]
+            assert means == sorted(means)
+            # Higher sampling rate ranks better on every workload here.
+            assert source_rows[0]["sampler"] == "bernoulli:rate=0.5"
+
+    def test_leaderboard_rejects_unknown_problem(self, swept):
+        with pytest.raises(ValueError, match="problem"):
+            leaderboard_rows(collect(GRID, swept), problem="latency")
+
+    def test_comparison_against_itself_is_zero(self, swept):
+        rows = comparison_rows(collect(GRID, swept), swept)
+        assert len(rows) == 4
+        assert all(row["delta"] == 0.0 for row in rows)
+
+    def test_comparison_against_empty_baseline(self, swept, tmp_path):
+        rows = comparison_rows(collect(GRID, swept), RunStore(tmp_path / "empty"))
+        assert all(row["delta"] is None for row in rows)
+        assert all(row["baseline_mean_swapped_pairs"] is None for row in rows)
+
+    def test_render_functions_are_deterministic(self, swept):
+        from repro.experiments.report import (
+            render_sweep_comparison,
+            render_sweep_leaderboard,
+            render_sweep_status,
+        )
+
+        runs = collect(GRID, swept)
+        assert render_sweep_status(sweep_status(GRID, swept)) == render_sweep_status(
+            sweep_status(GRID, swept)
+        )
+        text = render_sweep_leaderboard(leaderboard_rows(runs))
+        assert text == render_sweep_leaderboard(leaderboard_rows(collect(GRID, swept)))
+        assert "rank" in text and "bernoulli:rate=0.5" in text
+        comparison = render_sweep_comparison(comparison_rows(runs, swept))
+        assert "delta" in comparison
+
+    def test_monitor_grid_executes_serially(self, tmp_path):
+        grid = SweepGrid(
+            traces=("sprint:scale=0.002,duration=120",),
+            samplers=("bernoulli:rate=0.5",),
+            num_runs=1,
+            monitor=True,
+            max_flows=64,
+        )
+        store = RunStore(tmp_path / "store")
+        report = run_sweep(grid, store)
+        assert report.complete
+        stored = store.get(grid.cells()[0])
+        assert stored.result.monitor is True
+        assert stored.result.max_flows == 64
+
+
+class TestSweepExecutionMatchesPipeline:
+    def test_stored_cell_equals_direct_pipeline_run(self, tmp_path):
+        """A sweep cell is exactly the pipeline run its spec describes."""
+        spec = GRID.cells()[0]
+        store = RunStore(tmp_path / "store")
+        run_sweep(GRID, store, max_cells=1)
+        direct = RunSpec.from_dict(spec.to_dict()).execute()
+        assert store.get(spec).result.to_dict() == direct.to_dict()
