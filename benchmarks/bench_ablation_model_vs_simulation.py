@@ -9,7 +9,6 @@ small factor, and must agree on which sampling rates are acceptable.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.flow_size_model import FlowPopulation
 from repro.core.ranking import RankingModel

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.metrics import top_set_overlap, true_top_indices
+from repro.core.metrics import top_set_overlap
 from repro.flows.keys import FiveTupleKeyPolicy
 from repro.flows.packets import Packet
 from repro.sampling import BernoulliSampler, SampleAndHold

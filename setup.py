@@ -4,9 +4,16 @@ The environment this reproduction targets may be offline and lack the
 ``wheel`` package required by PEP 660 editable installs.  Keeping a
 classic ``setup.py`` allows ``pip install -e . --no-use-pep517`` (and
 plain ``pip install -e .`` on modern toolchains) to work everywhere.
-All metadata lives in ``pyproject.toml``.
+Declarative metadata lives in ``pyproject.toml``; the explicit package
+arguments below keep the legacy path equivalent — including the PEP 561
+``py.typed`` marker, so downstream consumers get type information from
+either install route.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro": ["py.typed"]},
+)

@@ -39,6 +39,10 @@ Subpackages
 ``repro.sweep``
     Resumable sweep orchestration: declarative grids executed through
     the pipeline backends, skipping store hits.
+``repro.analysis``
+    The ``reprolint`` AST contract linter: static rules enforcing the
+    determinism, picklability and cache-key invariants the other
+    subsystems rely on (``repro lint``).
 
 Quickstart
 ----------
@@ -54,8 +58,9 @@ Quickstart
 5
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
+from . import analysis
 from .core import (
     DetectionModel,
     FlowPopulation,
@@ -74,6 +79,7 @@ from .sweep import SweepGrid, run_sweep
 
 __all__ = [
     "__version__",
+    "analysis",
     "misranking_probability_exact",
     "misranking_probability_gaussian",
     "optimal_sampling_rate",

@@ -1,0 +1,59 @@
+"""repro.analysis — the ``reprolint`` AST contract linter.
+
+Static analysis for the invariants every other subsystem relies on:
+determinism (no global RNG state, no wall-clock reads, no unordered
+iteration), robustness (no silent broad excepts), architecture
+contracts (picklable execution plans, pure cache keys, spec-
+round-trippable registry entries) and a fully annotated public API.
+
+Run it on the repository::
+
+    repro lint src tests
+    python -m repro.analysis --list-rules
+
+or call it as a library:
+
+>>> from repro.analysis import lint_source
+>>> findings = lint_source("import random\\n", module="repro.fake")
+>>> findings[0].rule_id
+'REP001'
+
+Suppress a finding in place with a comment — rule ids and names are
+interchangeable, and some rules require the ``-- reason`` suffix::
+
+    except Exception:  # reprolint: disable=broad-except -- probe only
+
+The rule catalog lives in ``docs/analysis.md``; every rule documents
+its rationale there, and CI fails when a rule is undocumented.
+"""
+
+from __future__ import annotations
+
+from .base import RULES, FileContext, Rule, Violation, all_rules, register
+from .cli import main
+from .engine import (
+    active_rules,
+    collect_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    module_name_of,
+)
+from .rules import API_MODULE_PREFIXES
+
+__all__ = [
+    "API_MODULE_PREFIXES",
+    "RULES",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "active_rules",
+    "all_rules",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "module_name_of",
+    "register",
+]

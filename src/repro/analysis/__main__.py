@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.analysis`` to invoke the contract linter."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

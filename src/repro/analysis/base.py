@@ -1,0 +1,260 @@
+"""Core types of the contract linter: violations, file context, rules.
+
+A *rule* encodes one source-level contract of this repository (no
+global RNG state, picklable plan components, execution knobs kept out
+of cache keys, ...).  Rules are small :class:`Rule` subclasses kept in
+the :data:`RULES` registry; the engine (:mod:`repro.analysis.engine`)
+parses each file once and hands every active rule the same
+:class:`FileContext`.
+
+Rules are identified two ways, interchangeably: a stable numeric id
+(``REP001``) and a human-readable name (``global-rng``).  Both work in
+``--select``/``--ignore`` filters and in suppression comments::
+
+    value = risky()  # reprolint: disable=global-rng -- seeded upstream
+
+See ``docs/analysis.md`` for the full catalog and rationale.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Severity levels a rule may declare.
+SEVERITIES = ("error", "warning")
+
+#: Pseudo-rule id used for files that do not parse at all.
+PARSE_ERROR_ID = "REP000"
+PARSE_ERROR_NAME = "parse-error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule broken at a specific location.
+
+    Attributes
+    ----------
+    rule_id, rule_name:
+        The two interchangeable identifiers of the broken rule.
+    path:
+        File the finding is in, as given to the engine.
+    line, col:
+        1-based line and 0-based column of the offending node.
+    message:
+        Human-readable description with the suggested fix.
+    severity:
+        ``"error"`` or ``"warning"`` (metadata; both fail the lint).
+    """
+
+    rule_id: str
+    rule_name: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        """The canonical one-line text rendering of this finding."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} [{self.rule_name}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly export used by ``repro lint --format json``."""
+        return {
+            "rule_id": self.rule_id,
+            "rule_name": self.rule_name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one parsed file.
+
+    Attributes
+    ----------
+    path:
+        The file's path as given to the engine (used in reports).
+    text:
+        Raw source text.
+    lines:
+        ``text`` split into lines (1-based access via ``line_at``).
+    tree:
+        The parsed module AST.
+    module:
+        Dotted module name when the file belongs to the ``repro``
+        package (``repro.pipeline.parallel``), ``None`` otherwise.
+        Library-scoped rules key off this.
+    """
+
+    path: str
+    text: str
+    tree: ast.Module
+    module: str | None = None
+    lines: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.text.splitlines()
+
+    @property
+    def is_library(self) -> bool:
+        """Whether this file is part of the ``repro`` package itself."""
+        return self.module is not None
+
+    def line_at(self, lineno: int) -> str:
+        """The source line at a 1-based line number (empty when absent)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class Rule(ABC):
+    """One lintable contract.
+
+    Class attributes
+    ----------------
+    id:
+        Stable ``REPnnn`` identifier (never reused, never renumbered).
+    name:
+        Human-readable kebab-case name; interchangeable with ``id`` in
+        filters and suppression comments.
+    severity:
+        ``"error"`` or ``"warning"``.
+    autofixable:
+        Whether the violation has a mechanical fix (metadata for
+        tooling; no fixer ships yet).
+    requires_reason:
+        When true, a suppression comment only silences this rule if it
+        carries a justification (``-- reason`` suffix); used by
+        contracts where silent opt-outs are themselves the hazard.
+    library_only:
+        When true, the rule only applies to files inside the ``repro``
+        package (``FileContext.is_library``) — tests and scripts are
+        free to break it.
+    rationale:
+        One-line statement of why the contract exists; surfaced by
+        ``repro lint --list-rules`` and cross-checked against
+        ``docs/analysis.md``.
+    """
+
+    id: str
+    name: str
+    severity: str = "error"
+    autofixable: bool = False
+    requires_reason: bool = False
+    library_only: bool = False
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in ``context``."""
+
+    # ------------------------------------------------------------------
+    def violation(self, context: FileContext, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            rule_id=self.id,
+            rule_name=self.name,
+            path=context.path,
+            line=int(getattr(node, "lineno", 1)),
+            col=int(getattr(node, "col_offset", 0)),
+            message=message,
+            severity=self.severity,
+        )
+
+
+#: The rule registry: id -> rule class.  Populated by :func:`register`
+#: when :mod:`repro.analysis.rules` is imported.
+RULES: dict[str, type[Rule]] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`RULES`.
+
+    Both the id and the name must be unique across the registry — a
+    duplicate is a programming error, caught at import time.
+    """
+    if rule_class.id in RULES:
+        raise ValueError(f"rule id {rule_class.id!r} is already registered")
+    names = {existing.name for existing in RULES.values()}
+    if rule_class.name in names:
+        raise ValueError(f"rule name {rule_class.name!r} is already registered")
+    if rule_class.severity not in SEVERITIES:
+        raise ValueError(f"rule {rule_class.id}: unknown severity {rule_class.severity!r}")
+    RULES[rule_class.id] = rule_class
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in id order."""
+    return [RULES[rule_id]() for rule_id in sorted(RULES)]
+
+
+def resolve_rule_keys(keys: str | list[str] | tuple[str, ...]) -> set[str]:
+    """Normalise a ``--select``/``--ignore`` value into a set of rule ids.
+
+    Accepts a comma-separated string or a sequence; each item may be a
+    rule id (case-insensitive) or a rule name.  Unknown items raise
+    ``ValueError`` so a typo in CI configuration fails loudly instead
+    of silently linting nothing.
+    """
+    if isinstance(keys, str):
+        items = [item.strip() for item in keys.split(",") if item.strip()]
+    else:
+        items = [str(item).strip() for item in keys if str(item).strip()]
+    by_name = {rule.name: rule.id for rule in (cls() for cls in RULES.values())}
+    resolved: set[str] = set()
+    for item in items:
+        if item.upper() in RULES:
+            resolved.add(item.upper())
+        elif item in by_name:
+            resolved.add(by_name[item])
+        else:
+            known = sorted(RULES) + sorted(by_name)
+            raise ValueError(f"unknown rule {item!r}; known rules: {', '.join(known)}")
+    return resolved
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted form of a Name/Attribute chain, ``None`` otherwise.
+
+    ``np.random.seed`` parses as nested attributes; this recovers the
+    string ``"np.random.seed"`` so rules can match call targets by
+    suffix.  Chains through calls or subscripts return ``None``.
+    """
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "PARSE_ERROR_NAME",
+    "RULES",
+    "SEVERITIES",
+    "FileContext",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "dotted_name",
+    "register",
+    "resolve_rule_keys",
+]

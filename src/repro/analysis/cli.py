@@ -1,0 +1,130 @@
+"""Command-line front end of the contract linter.
+
+Two equivalent entry points::
+
+    repro lint [paths ...] [--format text|json] [--select ...] [--ignore ...]
+    python -m repro.analysis [same arguments]
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage error (unknown rule,
+missing path).  With no paths the linter checks ``src`` and ``tests``
+when they exist (the repository layout), else the current directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+from typing import TextIO
+
+from .base import Violation, all_rules
+from .engine import lint_paths
+
+#: Default lint targets, in priority order (first existing set wins).
+DEFAULT_TARGETS = ("src", "tests")
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint arguments to ``parser`` (shared with ``repro lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src tests, when present)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        dest="output_format",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids/names to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
+
+def default_paths() -> list[str]:
+    """The paths linted when none are given: ``src``/``tests`` or ``.``."""
+    present = [target for target in DEFAULT_TARGETS if Path(target).is_dir()]
+    return present if present else ["."]
+
+
+def render_rules() -> str:
+    """The ``--list-rules`` catalog: id, name, flags and rationale."""
+    lines = ["reprolint rules (suppress with `# reprolint: disable=<id-or-name>`):"]
+    for rule in all_rules():
+        flags = [rule.severity]
+        if rule.library_only:
+            flags.append("library-only")
+        if rule.autofixable:
+            flags.append("autofixable")
+        if rule.requires_reason:
+            flags.append("suppression needs a -- reason")
+        lines.append(f"  {rule.id} {rule.name} ({', '.join(flags)})")
+        lines.append(f"      {rule.rationale}")
+    return "\n".join(lines)
+
+
+def render_report(violations: list[Violation], output_format: str, checked: int) -> str:
+    """Render findings as the requested format."""
+    if output_format == "json":
+        payload = {
+            "checked_files": checked,
+            "violations": [violation.to_dict() for violation in violations],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+    if not violations:
+        return f"checked {checked} file(s): clean"
+    lines = [violation.format() for violation in violations]
+    lines.append(f"checked {checked} file(s): {len(violations)} finding(s)")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    if args.list_rules:
+        print(render_rules(), file=out)
+        return 0
+    paths = args.paths if args.paths else default_paths()
+    try:
+        from .engine import active_rules, collect_files
+
+        active_rules(args.select, args.ignore)  # unknown rule keys fail fast
+        checked = len(collect_files(paths))
+        violations = lint_paths(paths, select=args.select, ignore=args.ignore)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_report(violations, args.output_format, checked), file=out)
+    return 1 if violations else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.analysis``."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="reprolint — AST contract linter for the repro codebase",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+__all__ = ["DEFAULT_TARGETS", "configure_parser", "default_paths", "main", "render_report", "run"]

@@ -1,0 +1,258 @@
+"""The ``reprolint`` engine: collect files, run rules, honour suppressions.
+
+The engine parses each file once into a :class:`~repro.analysis.base.FileContext`
+and hands it to every active rule.  Findings can be silenced in place:
+
+* line suppression — a comment on the offending line::
+
+      pickle.dumps(obj)  # reprolint: disable=broad-except -- probe only
+
+  The ``-- reason`` suffix is optional for most rules; rules with
+  ``requires_reason`` (today: ``broad-except``) ignore a bare disable.
+
+* file suppression — a comment anywhere in the file (conventionally at
+  the top) that silences the rule for the whole file::
+
+      # reprolint: disable-file=float-eq -- exact fixture comparisons
+
+``disable=all`` silences every rule.  Rule ids (``REP101``) and names
+(``broad-except``) are interchangeable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from . import rules as _rules  # noqa: F401 - imported for rule registration
+from .base import (
+    PARSE_ERROR_ID,
+    PARSE_ERROR_NAME,
+    RULES,
+    FileContext,
+    Rule,
+    Violation,
+    all_rules,
+    resolve_rule_keys,
+)
+
+#: Directories never descended into while collecting files.
+SKIPPED_DIR_NAMES = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+_SUPPRESSION = re.compile(
+    r"#\s*reprolint:\s*(?P<scope>disable|disable-file)\s*=\s*"
+    r"(?P<keys>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s+--\s*(?P<reason>.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# reprolint: disable[-file]=...`` comment."""
+
+    line: int
+    scope: str  # "disable" (line) or "disable-file"
+    keys: frozenset[str]  # lowercased rule ids and names, may contain "all"
+    reason: str = ""
+
+    def matches(self, violation: Violation, *, needs_reason: bool) -> bool:
+        """Whether this comment silences ``violation``."""
+        if needs_reason and not self.reason:
+            return False
+        keys = {violation.rule_id.lower(), violation.rule_name.lower(), "all"}
+        return bool(keys & self.keys)
+
+
+def parse_suppressions(lines: Sequence[str]) -> tuple[list[Suppression], list[Suppression]]:
+    """Extract (line-scoped, file-scoped) suppressions from source lines."""
+    line_scoped: list[Suppression] = []
+    file_scoped: list[Suppression] = []
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESSION.search(line)
+        if match is None:
+            continue
+        suppression = Suppression(
+            line=number,
+            scope=match.group("scope"),
+            keys=frozenset(
+                key.strip().lower() for key in match.group("keys").split(",") if key.strip()
+            ),
+            reason=(match.group("reason") or "").strip(),
+        )
+        if suppression.scope == "disable-file":
+            file_scoped.append(suppression)
+        else:
+            line_scoped.append(suppression)
+    return line_scoped, file_scoped
+
+
+def module_name_of(path: Path) -> str | None:
+    """The dotted ``repro.*`` module name of a file inside the package.
+
+    Resolves by path shape (a ``repro`` directory component), so the
+    linter never imports the code it checks.  Returns ``None`` for
+    files outside the package (tests, scripts, fixtures).
+    """
+    parts = list(path.resolve().parts)
+    if "repro" not in parts:
+        return None
+    start = parts.index("repro")
+    module_parts = parts[start:]
+    leaf = module_parts[-1]
+    if not leaf.endswith(".py"):
+        return None
+    module_parts[-1] = leaf[: -len(".py")]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+def active_rules(
+    select: str | Sequence[str] | None = None,
+    ignore: str | Sequence[str] | None = None,
+) -> list[Rule]:
+    """The rule instances a run should apply, after ``--select``/``--ignore``."""
+    selected = resolve_rule_keys(select) if select else set(RULES)
+    ignored = resolve_rule_keys(ignore) if ignore else set()
+    return [rule for rule in all_rules() if rule.id in selected - ignored]
+
+
+def lint_source(
+    text: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    select: str | Sequence[str] | None = None,
+    ignore: str | Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint one source string; the core entry point everything wraps.
+
+    Parameters
+    ----------
+    text:
+        Python source to check.
+    path:
+        Path used in reported findings.
+    module:
+        Dotted module name, when the source should be treated as part
+        of the ``repro`` package (activates library-scoped rules).
+    select, ignore:
+        Rule filters as in the CLI: comma-separated ids or names.
+
+    >>> violations = lint_source("import random\\n", module="repro.fake")
+    >>> [v.rule_name for v in violations]
+    ['global-rng']
+    >>> lint_source("import random  # reprolint: disable=global-rng\\n",
+    ...             module="repro.fake")
+    []
+    """
+    lines = text.splitlines()
+    try:
+        tree = ast.parse(text)
+    except SyntaxError as error:
+        return [
+            Violation(
+                rule_id=PARSE_ERROR_ID,
+                rule_name=PARSE_ERROR_NAME,
+                path=path,
+                line=int(error.lineno or 1),
+                col=int(error.offset or 0),
+                message=f"file does not parse: {error.msg}",
+            )
+        ]
+    context = FileContext(path=path, text=text, tree=tree, module=module, lines=lines)
+    line_scoped, file_scoped = parse_suppressions(lines)
+    by_line: dict[int, list[Suppression]] = {}
+    for suppression in line_scoped:
+        by_line.setdefault(suppression.line, []).append(suppression)
+    findings: list[Violation] = []
+    seen: set[tuple[str, int, int, str]] = set()
+    for rule in active_rules(select, ignore):
+        if rule.library_only and not context.is_library:
+            continue
+        for violation in rule.check(context):
+            marker = (violation.rule_id, violation.line, violation.col, violation.message)
+            if marker in seen:
+                continue
+            seen.add(marker)
+            candidates = by_line.get(violation.line, []) + file_scoped
+            if any(
+                candidate.matches(violation, needs_reason=rule.requires_reason)
+                for candidate in candidates
+            ):
+                continue
+            findings.append(violation)
+    findings.sort(key=lambda item: (item.path, item.line, item.col, item.rule_id))
+    return findings
+
+
+def lint_file(
+    path: str | Path,
+    *,
+    module: str | None = None,
+    select: str | Sequence[str] | None = None,
+    ignore: str | Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint one file on disk (module name inferred unless given)."""
+    file_path = Path(path)
+    text = file_path.read_text(encoding="utf-8")
+    resolved_module = module if module is not None else module_name_of(file_path)
+    return lint_source(
+        text, path=str(path), module=resolved_module, select=select, ignore=ignore
+    )
+
+
+def collect_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand files and directories into the sorted list of ``.py`` files.
+
+    Directories are walked recursively; hidden directories,
+    ``__pycache__`` and VCS/tool caches are skipped.  A named file is
+    taken as-is (it must exist), so explicit arguments always win.
+    """
+    collected: list[Path] = []
+    for entry in paths:
+        entry_path = Path(entry)
+        if entry_path.is_dir():
+            for candidate in sorted(entry_path.rglob("*.py")):
+                relative = candidate.relative_to(entry_path)
+                parts = relative.parts
+                if any(part in SKIPPED_DIR_NAMES or part.startswith(".") for part in parts[:-1]):
+                    continue
+                collected.append(candidate)
+        elif entry_path.is_file():
+            collected.append(entry_path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {entry_path}")
+    unique: dict[Path, None] = {}
+    for item in collected:
+        unique.setdefault(item, None)
+    return list(unique)
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    *,
+    select: str | Sequence[str] | None = None,
+    ignore: str | Sequence[str] | None = None,
+) -> list[Violation]:
+    """Lint every ``.py`` file under ``paths``; the API behind ``repro lint``."""
+    findings: list[Violation] = []
+    for file_path in collect_files(paths):
+        findings.extend(lint_file(file_path, select=select, ignore=ignore))
+    return findings
+
+
+__all__ = [
+    "SKIPPED_DIR_NAMES",
+    "Suppression",
+    "active_rules",
+    "collect_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "module_name_of",
+    "parse_suppressions",
+]

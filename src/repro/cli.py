@@ -51,6 +51,7 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
+from .analysis import cli as analysis_cli
 from .core.flow_size_model import FlowPopulation
 from .core.rate_planning import required_sampling_rate
 from .distributions.pareto import ParetoFlowSizes
@@ -226,6 +227,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list the named workload scenarios and their parameters"
     )
 
+    lint = subparsers.add_parser(
+        "lint", help="run the reprolint contract linter (see docs/analysis.md)"
+    )
+    analysis_cli.configure_parser(lint)
+
     figure = subparsers.add_parser("figure", help="regenerate one figure of the paper")
     figure.add_argument(
         "name",
@@ -399,6 +405,9 @@ def _run_sweep_cli(args: argparse.Namespace) -> str:
 
 
 def _run_store_cli(args: argparse.Namespace) -> str:
+    root = Path(args.store)
+    if root.exists() and not root.is_dir():
+        raise NotADirectoryError(f"--store {args.store!r} exists but is not a directory")
     store = RunStore(args.store)
     if args.store_command == "ls":
         entries = store.list()
@@ -582,7 +591,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "run":
         try:
             output = _run_pipeline(args)
-        except (UnknownComponentError, ValueError, TypeError) as exc:
+        except (UnknownComponentError, ValueError, TypeError, OSError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     elif args.command == "sweep":
@@ -599,6 +608,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
     elif args.command == "scenarios":
         output = _list_scenarios()
+    elif args.command == "lint":
+        return analysis_cli.run(args)
     elif args.command == "figure":
         output = _run_figure(args.name, jobs=args.jobs)
     elif args.command == "plan":

@@ -59,7 +59,9 @@ class RatePlan:
         return self.required_rate is not None
 
 
-def _build_model(population: FlowPopulation, top_t: int, problem: Problem):
+def _build_model(
+    population: FlowPopulation, top_t: int, problem: Problem
+) -> RankingModel | DetectionModel:
     if problem == "ranking":
         return RankingModel(population, top_t)
     if problem == "detection":

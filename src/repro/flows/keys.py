@@ -147,7 +147,7 @@ class FiveTuple:
         )
 
 
-def flow_key_order(key: object):
+def flow_key_order(key: object) -> tuple[object, ...]:
     """Total order over flow keys, used as the final ranking/eviction tie-break.
 
     Flows with identical packet and byte counts are ordered by this
@@ -199,7 +199,7 @@ class FlowKeyEncoder(abc.ABC):
     def decode(self, code: int) -> object:
         """Object-view key of one code previously produced by this encoder."""
 
-    def order_key(self, code: int):
+    def order_key(self, code: int) -> object:
         """Comparable value ordering codes like :func:`flow_key_order` orders keys."""
         return code
 
@@ -224,7 +224,13 @@ class FiveTupleKeyEncoder(FlowKeyEncoder):
         self._lo: list[int] = []
 
     @staticmethod
-    def _pack_arrays(src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+    def _pack_arrays(
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        src_ports: np.ndarray,
+        dst_ports: np.ndarray,
+        protocols: np.ndarray,
+    ) -> np.ndarray:
         packed = np.empty(len(src_ips), dtype=[("hi", np.uint64), ("lo", np.int64)])
         packed["hi"] = (np.asarray(src_ips, dtype=np.uint64) << np.uint64(32)) | np.asarray(
             dst_ips, dtype=np.uint64
@@ -245,7 +251,14 @@ class FiveTupleKeyEncoder(FlowKeyEncoder):
             self._lo.append(lo)
         return code
 
-    def encode_batch(self, src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+    def encode_batch(
+        self,
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        src_ports: np.ndarray,
+        dst_ports: np.ndarray,
+        protocols: np.ndarray,
+    ) -> np.ndarray:
         packed = self._pack_arrays(src_ips, dst_ips, src_ports, dst_ports, protocols)
         if packed.size == 0:
             return np.empty(0, dtype=np.int64)
@@ -291,7 +304,14 @@ class DestinationPrefixKeyEncoder(FlowKeyEncoder):
         self.prefix_length = int(prefix_length)
         self._shift = 32 - self.prefix_length
 
-    def encode_batch(self, src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+    def encode_batch(
+        self,
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        src_ports: np.ndarray,
+        dst_ports: np.ndarray,
+        protocols: np.ndarray,
+    ) -> np.ndarray:
         dst = np.asarray(dst_ips, dtype=np.int64)
         if self._shift >= 32:
             return np.zeros(dst.shape, dtype=np.int64)
@@ -321,7 +341,14 @@ class ObjectKeyEncoder(FlowKeyEncoder):
         self._code_of: dict[object, int] = {}
         self._keys: list[object] = []
 
-    def encode_batch(self, src_ips, dst_ips, src_ports, dst_ports, protocols) -> np.ndarray:
+    def encode_batch(
+        self,
+        src_ips: np.ndarray,
+        dst_ips: np.ndarray,
+        src_ports: np.ndarray,
+        dst_ports: np.ndarray,
+        protocols: np.ndarray,
+    ) -> np.ndarray:
         codes = np.empty(len(src_ips), dtype=np.int64)
         for row in range(len(src_ips)):
             five_tuple = FiveTuple(
@@ -345,7 +372,7 @@ class ObjectKeyEncoder(FlowKeyEncoder):
     def decode(self, code: int) -> object:
         return self._keys[code]
 
-    def order_key(self, code: int):
+    def order_key(self, code: int) -> object:
         return flow_key_order(self._keys[code])
 
 

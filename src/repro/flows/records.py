@@ -106,7 +106,7 @@ class FlowSummary:
         return self.bytes / self.packets
 
 
-def ranking_sort_key(flow: FlowSummary):
+def ranking_sort_key(flow: FlowSummary) -> tuple[object, ...]:
     """Deterministic monitor ranking order for flow summaries.
 
     Flows rank by decreasing packet count, then decreasing byte count,

@@ -44,11 +44,15 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..traces.source import PacketSource
 from .executor import StreamOutcome, run_stream
+
+if TYPE_CHECKING:
+    from ..traces.flow_trace import FlowLevelTrace
 
 #: Backend names accepted by :meth:`ExecutionPlan.execute`.
 BACKENDS = ("auto", "serial", "process")
@@ -129,10 +133,14 @@ class ExecutionPlan:
     bin_duration: float
     top_t: int
     chunk_packets: int | None
+    #: Set by :meth:`execute` when the ``"auto"`` backend downgraded to
+    #: serial because the plan could not be pickled — the downgrade is
+    #: observable instead of silent.  ``None`` otherwise.
+    fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
     @property
-    def trace(self):
+    def trace(self) -> FlowLevelTrace | None:
         """The flow-level trace behind the source, when there is one.
 
         ``None`` for packet-level and composed sources; kept for
@@ -175,18 +183,32 @@ class ExecutionPlan:
         bounds = np.linspace(0, self.num_cells, count + 1).astype(int)
         return [list(range(lo, hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
 
+    def pickle_check(self) -> str | None:
+        """Why the plan cannot be shipped to worker processes, if it cannot.
+
+        Probes the parts of the plan the process backend pickles and
+        returns ``None`` when everything serialises, or a short
+        diagnostic (exception type and message) when it does not.  Only
+        genuine serialisation failures are caught — ``PicklingError``
+        (lambdas, local closures), ``TypeError`` (open handles, locks)
+        and ``AttributeError`` (objects whose module-level name is gone)
+        — so a real bug inside ``__reduce__`` still surfaces.
+        """
+        try:
+            pickle.dumps((self.sampler_specs, self.expand_entropy, self.source))
+        except (pickle.PicklingError, TypeError, AttributeError) as error:
+            return f"{type(error).__name__}: {error}"
+        return None
+
     def is_picklable(self) -> bool:
         """Whether the plan can be shipped to worker processes.
 
         Sampler specs holding locally defined factories or instances
-        cannot be pickled; the ``"auto"`` backend silently falls back to
-        serial for them, the ``"process"`` backend raises.
+        cannot be pickled; the ``"auto"`` backend falls back to serial
+        for them (recording :attr:`fallback_reason`), the ``"process"``
+        backend raises.
         """
-        try:
-            pickle.dumps((self.sampler_specs, self.expand_entropy, self.source))
-        except Exception:
-            return False
-        return True
+        return self.pickle_check() is None
 
     # ------------------------------------------------------------------
     def resolve_backend(self, backend: str = "auto", jobs: int | None = None) -> tuple[str, int]:
@@ -244,13 +266,18 @@ class ExecutionPlan:
             — bit-identical across backends for the same plan.
         """
         choice, resolved_jobs = self.resolve_backend(backend, jobs)
-        if choice == "process" and not self.is_picklable():
-            if backend == "process":
-                raise ValueError(
-                    "the pipeline uses sampler factories or instances that cannot be "
-                    "pickled to worker processes; run with parallel='serial' instead"
-                )
-            choice = "serial"  # auto mode degrades gracefully
+        if choice == "process":
+            problem = self.pickle_check()
+            if problem is not None:
+                if backend == "process":
+                    raise ValueError(
+                        "the pipeline uses sampler factories or instances that cannot "
+                        f"be pickled to worker processes ({problem}); run with "
+                        "parallel='serial' instead"
+                    )
+                # auto mode degrades gracefully — and observably.
+                self.fallback_reason = f"auto backend fell back to serial: {problem}"
+                choice = "serial"
         if choice == "serial":
             parts = [_run_cell_batch(self, list(range(self.num_cells)))]
         else:

@@ -147,7 +147,7 @@ class Pipeline:
     def with_trace(
         self,
         trace: FlowLevelTrace | SyntheticTraceGenerator | str,
-        **kwargs,
+        **kwargs: object,
     ) -> "Pipeline":
         """Set the trace source: a trace object, a generator, or a registry name.
 
@@ -190,7 +190,7 @@ class Pipeline:
     def with_source(
         self,
         source: PacketSource | Callable[..., PacketSource] | str,
-        **kwargs,
+        **kwargs: object,
     ) -> "Pipeline":
         """Stream packets from any :class:`~repro.traces.source.PacketSource`.
 
@@ -232,7 +232,7 @@ class Pipeline:
             raise TypeError(f"cannot interpret {source!r} as a packet source")
         return self
 
-    def with_scenario(self, scenario: str, **kwargs) -> "Pipeline":
+    def with_scenario(self, scenario: str, **kwargs: object) -> "Pipeline":
         """Stream one of the named workloads of :data:`repro.scenarios.SCENARIOS`.
 
         Parameters
@@ -259,7 +259,7 @@ class Pipeline:
         sampler: PacketSampler | Callable[..., PacketSampler] | str,
         *,
         label: str | None = None,
-        **kwargs,
+        **kwargs: object,
     ) -> "Pipeline":
         """Add one sampler to evaluate: registry name (with kwargs), factory, or instance.
 
@@ -313,7 +313,7 @@ class Pipeline:
             self.with_sampler("bernoulli", rate=float(rate))
         return self
 
-    def with_key_policy(self, policy: FlowKeyPolicy | str, **kwargs) -> "Pipeline":
+    def with_key_policy(self, policy: FlowKeyPolicy | str, **kwargs: object) -> "Pipeline":
         """Set the flow definition: a policy object or a registry name.
 
         Parameters

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import inspect
 from collections.abc import Callable, Iterator
+from typing import Any
 
 import numpy as np
 
@@ -136,7 +137,7 @@ class Registry:
         """Return the factory registered under ``name`` (or an alias)."""
         return self._factories[self._resolve(name)]
 
-    def create(self, name: str, /, **kwargs):
+    def create(self, name: str, /, **kwargs: object) -> Any:
         """Instantiate the component registered under ``name``."""
         factory = self.get(name)
         try:

@@ -72,7 +72,7 @@ def _steady_source(
     scale: float,
     duration: float,
     rng: np.random.Generator,
-    **trace_kwargs,
+    **trace_kwargs: object,
 ) -> FlowTraceSource:
     generator = TRACES.create(trace, scale=scale, duration=duration, **trace_kwargs)
     return FlowTraceSource(generator.generate(rng=rng))
@@ -84,7 +84,7 @@ def _make_steady(
     duration: float = 600.0,
     trace: str = "sprint",
     rng: np.random.Generator | int | None = None,
-    **trace_kwargs,
+    **trace_kwargs: object,
 ) -> PacketSource:
     """Constant mean load from one synthetic backbone trace (the paper's workload)."""
     return _steady_source(trace, scale, duration, _rng_of(rng), **trace_kwargs)

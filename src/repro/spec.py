@@ -28,7 +28,7 @@ from __future__ import annotations
 import ast
 
 
-def _parse_value(text: str):
+def _parse_value(text: str) -> object:
     """Parse a spec value: Python literal when possible, else the raw string."""
     try:
         return ast.literal_eval(text)

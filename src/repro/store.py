@@ -56,6 +56,7 @@ import hashlib
 import io
 import json
 import os
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 
@@ -573,7 +574,7 @@ def _has_npz_refs(result_dict: dict) -> bool:
     return False
 
 
-def _restore_arrays(result_dict: dict, arrays) -> dict:
+def _restore_arrays(result_dict: dict, arrays: Mapping[str, np.ndarray]) -> dict:
     """Inverse of :func:`_extract_arrays` given the loaded NPZ mapping."""
     out = json.loads(json.dumps(result_dict))
     for problem in ("ranking", "detection"):

@@ -262,7 +262,11 @@ class FlowTraceSource(PacketSource):
         self.clip_to_duration = clip_to_duration
         self.packet_size_bytes = int(packet_size_bytes)
 
-    def iter_chunks(self, rng, chunk_packets=DEFAULT_CHUNK_PACKETS):
+    def iter_chunks(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+    ) -> Iterator[PacketBatch]:
         return iter_expanded_chunks(
             self.trace,
             rng,
@@ -330,7 +334,11 @@ class PacketTableSource(PacketSource):
         """Build a source from an existing :class:`PacketBatch`."""
         return cls(batch.timestamps, batch.flow_ids, batch.sizes_bytes)
 
-    def iter_chunks(self, rng, chunk_packets=DEFAULT_CHUNK_PACKETS):
+    def iter_chunks(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+    ) -> Iterator[PacketBatch]:
         if chunk_packets is not None and chunk_packets < 1:
             raise ValueError("chunk_packets must be positive when given")
         batch = self._batch
@@ -418,7 +426,11 @@ class MergeSource(PacketSource):
         counts = [source.num_flows for source in self.sources]
         self._flow_offsets = np.concatenate(([0], np.cumsum(counts)))[:-1].astype(np.int64)
 
-    def iter_chunks(self, rng, chunk_packets=DEFAULT_CHUNK_PACKETS):
+    def iter_chunks(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+    ) -> Iterator[PacketBatch]:
         if chunk_packets is not None and chunk_packets < 1:
             raise ValueError("chunk_packets must be positive when given")
         # One child generator per part, derived once up front — each
@@ -591,7 +603,11 @@ class LoadScaleSource(PacketSource):
         self.source = source
         self.factor = float(factor)
 
-    def iter_chunks(self, rng, chunk_packets=DEFAULT_CHUNK_PACKETS):
+    def iter_chunks(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+    ) -> Iterator[PacketBatch]:
         # One draw up front; all later randomness is hash-derived so the
         # rng consumption cannot depend on the chunk boundaries.
         seed = np.uint64(rng.integers(0, 2**63, dtype=np.int64))
@@ -658,7 +674,7 @@ class PiecewiseLinearWarp:
         object.__setattr__(self, "inputs", inputs)
         object.__setattr__(self, "outputs", outputs)
 
-    def __call__(self, times):
+    def __call__(self, times: np.ndarray) -> np.ndarray:
         return np.interp(times, self.inputs, self.outputs)
 
 
@@ -722,7 +738,11 @@ class TimeWarpSource(PacketSource):
         self.source = source
         self.warp = warp
 
-    def iter_chunks(self, rng, chunk_packets=DEFAULT_CHUNK_PACKETS):
+    def iter_chunks(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+    ) -> Iterator[PacketBatch]:
         for chunk in self.source.iter_chunks(rng, chunk_packets):
             yield PacketBatch(self.warp(chunk.timestamps), chunk.flow_ids, chunk.sizes_bytes)
 

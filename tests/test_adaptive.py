@@ -30,7 +30,7 @@ class TestConstruction:
 
     def test_starts_at_initial_rate(self):
         controller = AdaptiveRateController(initial_rate=0.2)
-        assert controller.current_rate == 0.2
+        assert controller.current_rate == 0.2  # reprolint: disable=float-eq -- stored literal round-trips exactly
 
 
 class TestControlBehaviour:

@@ -113,7 +113,7 @@ class TestAuxiliaryMetrics:
     def test_top_set_overlap_partial(self):
         original = [100, 80, 60, 40]
         sampled = [100, 0, 60, 40]
-        assert top_set_overlap(original, sampled, top_t=2) == 0.5
+        assert top_set_overlap(original, sampled, top_t=2) == 0.5  # reprolint: disable=float-eq -- 1/2 is exact
 
     def test_rank_quality_report_fields(self):
         original = [100, 80, 60, 40, 20]

@@ -37,6 +37,7 @@ DOC_PAGES = (
     "flows.md",
     "sweeps.md",
     "registry.md",
+    "analysis.md",
     "cli.md",
 )
 
@@ -111,6 +112,41 @@ class TestRegistryCrossReference:
                 )
 
 
+class TestAnalysisDocs:
+    """docs/analysis.md stays in sync with the registered lint rules."""
+
+    def test_every_rule_is_documented(self):
+        from repro.analysis import all_rules
+
+        text = (DOCS / "analysis.md").read_text()
+        for rule in all_rules():
+            assert f"`{rule.id}`" in text, f"analysis.md misses rule id {rule.id}"
+            assert f"`{rule.name}`" in text, f"analysis.md misses rule name {rule.name}"
+
+    def test_no_phantom_rules_documented(self):
+        """Every REPnnn id the page mentions is actually registered."""
+        from repro.analysis import RULES
+        from repro.analysis.base import PARSE_ERROR_ID
+
+        text = (DOCS / "analysis.md").read_text()
+        for rule_id in set(re.findall(r"REP\d{3}", text)) - {PARSE_ERROR_ID, "REP901"}:
+            assert rule_id in RULES, f"analysis.md documents unregistered rule {rule_id}"
+
+    def test_suppression_syntax_and_policy_documented(self):
+        text = (DOCS / "analysis.md").read_text()
+        for term in (
+            "reprolint: disable=",
+            "reprolint: disable-file=",
+            "-- ",
+            "mypy --strict",
+            "py.typed",
+            "--select",
+            "--ignore",
+            "--list-rules",
+        ):
+            assert term in text, f"analysis.md does not document {term!r}"
+
+
 class TestCliDocs:
     def test_cli_page_covers_every_subcommand_and_jobs(self):
         text = (DOCS / "cli.md").read_text()
@@ -119,6 +155,7 @@ class TestCliDocs:
             "repro sweep",
             "repro store",
             "repro scenarios",
+            "repro lint",
             "repro figure",
             "repro plan",
             "repro simulate",

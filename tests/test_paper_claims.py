@@ -20,7 +20,6 @@ from repro.core.detection import DetectionModel
 from repro.core.flow_size_model import FlowPopulation
 from repro.core.ranking import RankingModel
 from repro.core.rate_planning import required_sampling_rate
-from repro.distributions import ParetoFlowSizes
 from repro.experiments.config import FIVE_TUPLE, PREFIX_24
 
 

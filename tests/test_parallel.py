@@ -18,8 +18,6 @@ from repro.pipeline import Pipeline
 from repro.pipeline.executor import StreamOutcome
 from repro.pipeline.parallel import (
     AUTO_PROCESS_MIN_WORK,
-    Cell,
-    ExecutionPlan,
     merge_outcomes,
 )
 from repro.sampling import BernoulliSampler
@@ -145,6 +143,30 @@ class TestExecutionPlan:
         assert not plan.is_picklable()
         result = pipeline.run(parallel="auto", jobs=4)  # silently serial
         assert result.num_runs == 2
+
+    def test_fallback_reason_names_the_pickle_failure(self, small_trace):
+        pipeline = (
+            Pipeline()
+            .with_trace(small_trace)
+            .with_sampler(lambda rng=None: BernoulliSampler(0.5, rng=rng))
+            .with_runs(2)
+            .with_seed(1)
+        )
+        plan = pipeline.plan()
+        assert plan.fallback_reason is None
+        problem = plan.pickle_check()
+        assert problem is not None
+        assert "Error" in problem and "lambda" in problem
+        plan.execute("auto", jobs=4)
+        assert plan.fallback_reason is not None
+        assert "serial" in plan.fallback_reason
+        assert problem in plan.fallback_reason
+
+    def test_picklable_plan_records_no_fallback(self, small_trace):
+        plan = _sweep_pipeline(small_trace).plan()
+        assert plan.pickle_check() is None
+        plan.execute("auto")
+        assert plan.fallback_reason is None
 
     def test_unpicklable_factory_raises_for_explicit_process(self, small_trace):
         pipeline = (

@@ -7,7 +7,7 @@ import pytest
 
 from repro.core.flow_size_model import FlowPopulation
 from repro.core.ranking import RankingModel
-from repro.distributions import DiscreteFlowSizes, ParetoFlowSizes
+from repro.distributions import ParetoFlowSizes
 
 
 class TestConstruction:

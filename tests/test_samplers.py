@@ -29,7 +29,7 @@ class TestBernoulliSampler:
             BernoulliSampler(1.5)
 
     def test_effective_rate(self):
-        assert BernoulliSampler(0.05).effective_rate == 0.05
+        assert BernoulliSampler(0.05).effective_rate == 0.05  # reprolint: disable=float-eq -- stored literal round-trips exactly
 
     def test_mask_fraction_close_to_rate(self):
         sampler = BernoulliSampler(0.1, rng=3)
@@ -217,4 +217,4 @@ class TestSampleAndHoldSampler:
         assert sampler.tracked_flows > 0
 
     def test_effective_rate_is_admission_probability(self):
-        assert self._sampler(rate=0.25).effective_rate == 0.25
+        assert self._sampler(rate=0.25).effective_rate == 0.25  # reprolint: disable=float-eq -- stored literal round-trips exactly
