@@ -4,6 +4,7 @@
 Times the representative workloads of the library — packet expansion,
 the paper's (sampler x run) sweep in serial and in parallel, the
 cold-vs-warm store-backed sweep (``repro.sweep`` over ``repro.store``),
+the leased multi-worker sweep drain against the serial orchestrator,
 the streaming executor at several chunk sizes, and the source
 throughput of every registered workload scenario — and writes the
 measurements to ``BENCH_pipeline.json`` at the repository root, so that
@@ -284,6 +285,62 @@ def bench_sweep_store(args: argparse.Namespace) -> dict:
     }
 
 
+def bench_sweep_workers(args: argparse.Namespace) -> dict:
+    """Leased multi-worker drain vs the serial sweep orchestrator.
+
+    Runs the same grid into two fresh stores: once through ``run_sweep``
+    (serial, single process) and once through ``run_sweep_workers`` with
+    two crash-safe worker processes coordinating through store leases.
+    Both passes must complete the grid, and the aggregate rows must be
+    bit-identical — the distributed-execution contract — before the
+    speedup is recorded.  A degraded pass (worker spawn unavailable in
+    this environment) is recorded as such rather than failing.
+    """
+    import shutil
+    import tempfile
+
+    from repro.store import RunStore
+    from repro.sweep import SweepGrid, aggregate_rows, collect, run_sweep, run_sweep_workers
+
+    grid = SweepGrid(
+        traces=(f"sprint:scale={args.scale},duration={args.duration}",),
+        samplers=("bernoulli",),
+        rates=SWEEP_RATES,
+        seeds=(args.seed, args.seed + 1),
+        num_runs=args.runs,
+    )
+    serial_root = tempfile.mkdtemp(prefix="bench_sweep_workers_serial_")
+    workers_root = tempfile.mkdtemp(prefix="bench_sweep_workers_pool_")
+    try:
+        serial_store = RunStore(serial_root)
+        serial_seconds, serial = _timed(lambda: run_sweep(grid, serial_store))
+        workers_store = RunStore(workers_root)
+        workers_seconds, distributed = _timed(
+            lambda: run_sweep_workers(grid, workers_store, workers=2)
+        )
+        if not serial.complete or not distributed.complete:
+            raise SystemExit("FATAL: a sweep pass left cells missing")
+        serial_rows = aggregate_rows(collect(grid, serial_store))
+        worker_rows = aggregate_rows(collect(grid, workers_store))
+    finally:
+        shutil.rmtree(serial_root, ignore_errors=True)
+        shutil.rmtree(workers_root, ignore_errors=True)
+    identical = json.dumps(serial_rows, sort_keys=True) == json.dumps(worker_rows, sort_keys=True)
+    if not identical:
+        raise SystemExit(
+            "FATAL: multi-worker aggregates diverge from serial — distribution regression"
+        )
+    return {
+        "cells": len(grid.cells()),
+        "workers": distributed.workers,
+        "degraded": distributed.degraded,
+        "serial_seconds": round(serial_seconds, 4),
+        "workers_seconds": round(workers_seconds, 4),
+        "speedup": round(serial_seconds / workers_seconds, 3) if workers_seconds else None,
+        "bit_identical": identical,
+    }
+
+
 def bench_streaming(args: argparse.Namespace) -> dict:
     """Single-sampler run at several streaming chunk sizes."""
     timings: dict[str, float] = {}
@@ -371,6 +428,15 @@ def main(argv: list[str] | None = None) -> int:
         f"{sweep_store['cells']} cells: cold {sweep_store['cold_seconds']}s vs "
         f"warm {sweep_store['warm_seconds']}s -> {sweep_store['warm_speedup']}x "
         "(warm pass fully cached)"
+    )
+
+    print(f"sweep workers . ", end="", flush=True)
+    report["results"]["sweep_workers"] = sweep_workers = bench_sweep_workers(args)
+    print(
+        f"{sweep_workers['cells']} cells: serial {sweep_workers['serial_seconds']}s vs "
+        f"{sweep_workers['workers']} leased workers {sweep_workers['workers_seconds']}s "
+        f"-> {sweep_workers['speedup']}x (bit-identical)"
+        + (f" [degraded: {sweep_workers['degraded']}]" if sweep_workers["degraded"] else "")
     )
 
     print(f"streaming   ... ", end="", flush=True)

@@ -501,6 +501,107 @@ class RegistrySpecRule(Rule):
                     )
 
 
+#: Module prefixes holding on-disk store state (rule REP204): every
+#: file write there must publish atomically via the temp + replace
+#: idiom, because concurrent sweep workers read these paths live.
+_STORE_MODULE_PREFIXES = ("repro.store",)
+
+#: Dotted call suffixes that atomically publish a finished file.
+_ATOMIC_PUBLISH_SUFFIXES = ("os.replace", "os.rename", "os.link")
+
+#: ``open()`` mode letters that write (truncate, append or create).
+_WRITE_MODE_LETTERS = frozenset("wax")
+
+
+@register
+class NonAtomicWriteRule(Rule):
+    """REP204: store modules publish files atomically (temp + os.replace)."""
+
+    id = "REP204"
+    name = "non-atomic-write"
+    library_only = True
+    rationale = (
+        "N uncoordinated sweep workers read the store directory while "
+        "others write it; a bare open(..., 'w') (or write_text/write_bytes) "
+        "exposes torn, half-written files to concurrent readers and to "
+        "crash recovery.  Every write under repro.store must land on a "
+        "temporary name and be published with os.replace/os.rename/os.link."
+    )
+
+    def _applies_to(self, module: str | None) -> bool:
+        if module is None:
+            return False
+        return any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in _STORE_MODULE_PREFIXES
+        )
+
+    def _write_call_reason(self, call: ast.Call) -> str | None:
+        """Why this call writes a file in place, or ``None`` if it doesn't."""
+        target = dotted_name(call.func)
+        if target is not None and (target == "open" or target.endswith(".open")):
+            mode: ast.expr | None = None
+            if len(call.args) >= 2:
+                mode = call.args[1]
+            for keyword in call.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if (
+                isinstance(mode, ast.Constant)
+                and isinstance(mode.value, str)
+                and set(mode.value) & _WRITE_MODE_LETTERS
+            ):
+                return f"`open(..., {mode.value!r})` truncates or appends in place"
+            return None
+        if isinstance(call.func, ast.Attribute) and call.func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            return f"`.{call.func.attr}(...)` writes the target path in place"
+        return None
+
+    def _publishes_atomically(self, function: ast.AST) -> bool:
+        for call in _walk_calls(function):
+            target = dotted_name(call.func)
+            if target is None:
+                continue
+            for suffix in _ATOMIC_PUBLISH_SUFFIXES:
+                if target == suffix or target.endswith("." + suffix):
+                    return True
+        return False
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if not self._applies_to(context.module):
+            return
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(context.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        atomic_cache: dict[ast.AST, bool] = {}
+        for call in _walk_calls(context.tree):
+            reason = self._write_call_reason(call)
+            if reason is None:
+                continue
+            cursor: ast.AST | None = call
+            publishes = False
+            while cursor is not None:
+                if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if cursor not in atomic_cache:
+                        atomic_cache[cursor] = self._publishes_atomically(cursor)
+                    if atomic_cache[cursor]:
+                        publishes = True
+                        break
+                cursor = parents.get(cursor)
+            if not publishes:
+                yield self.violation(
+                    context,
+                    call,
+                    f"{reason}; concurrent store readers can observe a torn "
+                    "file — write to a temporary name and publish it with "
+                    "os.replace (see _atomic_write_bytes)",
+                )
+
+
 @register
 class MissingAnnotationsRule(Rule):
     """REP301: the public API carries complete type annotations."""
@@ -578,6 +679,7 @@ __all__ = [
     "GlobalRngRule",
     "MissingAnnotationsRule",
     "MutableDefaultRule",
+    "NonAtomicWriteRule",
     "RegistrySpecRule",
     "UnorderedIterationRule",
     "UnpicklablePlanRule",

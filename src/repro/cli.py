@@ -10,13 +10,17 @@ Seven subcommands cover the workflows the library supports:
   store, ``--json PATH`` dumps the full result as JSON;
 * ``sweep`` — resumable grid sweeps over a store: ``repro sweep run``
   executes the missing cells of a (source x sampler x rate x seed)
-  grid, ``repro sweep status`` shows coverage, ``repro sweep report``
-  prints per-scenario sampler leaderboards and deltas against a
-  baseline sweep;
+  grid (``--workers N`` drains it with N crash-safe, lease-coordinated
+  worker processes), ``repro sweep status`` shows coverage,
+  ``repro sweep watch`` is the live per-cell lease view of a running
+  (possibly distributed) sweep, and ``repro sweep report`` prints
+  per-scenario sampler leaderboards and deltas against a baseline
+  sweep;
 * ``store`` — experiment-store maintenance: ``repro store ls`` lists
   the cached runs, ``repro store verify`` checks every artifact
-  against the cache-key contract, ``repro store gc`` reconciles the
-  index and removes stale artifacts;
+  against the cache-key contract (and reports stale worker leases),
+  ``repro store gc`` reconciles the index and removes stale artifacts
+  and expired leases;
 * ``scenarios`` — list the named workload scenarios and their
   parameters (``repro scenarios``);
 * ``figure`` — regenerate the data behind one figure of the paper and
@@ -48,6 +52,7 @@ import argparse
 import inspect
 import json
 import sys
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -63,6 +68,7 @@ from .experiments.report import (
     render_sweep_comparison,
     render_sweep_leaderboard,
     render_sweep_status,
+    render_sweep_watch,
 )
 from .pipeline import DEFAULT_CHUNK_PACKETS, Pipeline
 from .registry import (
@@ -77,7 +83,17 @@ from .registry import (
 )
 from .scenarios import SCENARIOS
 from .store import RunSpec, RunStore
-from .sweep import SweepGrid, collect, comparison_rows, leaderboard_rows, run_sweep, sweep_status
+from .sweep import (
+    DEFAULT_LEASE_TTL,
+    SweepGrid,
+    collect,
+    comparison_rows,
+    leaderboard_rows,
+    run_sweep,
+    run_sweep_workers,
+    sweep_status,
+    worker_status,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -191,8 +207,30 @@ def _build_parser() -> argparse.ArgumentParser:
         "--array-format", choices=("json", "npz"), default="json",
         help="artifact format for newly stored results (default json)",
     )
+    sweep_run.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="drain the grid with N uncoordinated worker processes sharing "
+        "the store via leases (crash-safe: re-run to resume); default is the "
+        "single-process orchestrator",
+    )
+    sweep_run.add_argument(
+        "--ttl", type=float, default=DEFAULT_LEASE_TTL, metavar="S",
+        help="lease time-to-live in seconds for --workers; a crashed "
+        f"worker's cells are reclaimable after S seconds (default {DEFAULT_LEASE_TTL:g})",
+    )
     sweep_status_parser = sweep_sub.add_parser(
         "status", help="show which cells of the grid are cached vs missing"
+    )
+    sweep_watch = sweep_sub.add_parser(
+        "watch", help="live per-cell lease view of a (possibly distributed) sweep"
+    )
+    sweep_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between refreshes (default 2)",
+    )
+    sweep_watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit instead of refreshing until done",
     )
     sweep_report = sweep_sub.add_parser(
         "report", help="per-source sampler leaderboard (and deltas vs a baseline sweep)"
@@ -206,7 +244,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="a second store swept with the same grid; the report adds "
         "per-cell metric deltas against it",
     )
-    for sweep_parser in (sweep_run, sweep_status_parser, sweep_report):
+    for sweep_parser in (sweep_run, sweep_status_parser, sweep_watch, sweep_report):
         _add_grid_arguments(sweep_parser)
 
     store = subparsers.add_parser("store", help="experiment-store maintenance")
@@ -368,6 +406,39 @@ def _run_sweep_cli(args: argparse.Namespace) -> str:
                     f"| seed={spec.seed}"
                 )
 
+        if args.workers is not None:
+            if args.max_cells is not None:
+                raise ValueError(
+                    "--max-cells interrupts the single-process orchestrator and "
+                    "does not combine with --workers (kill a worker instead; "
+                    "leases make the sweep resumable)"
+                )
+            worker_report = run_sweep_workers(
+                grid,
+                store,
+                args.workers,
+                ttl=args.ttl,
+                parallel="auto" if args.jobs is not None else "serial",
+                jobs=args.jobs,
+            )
+            lines = [
+                f"sweep over {worker_report.total} cells into {args.store} "
+                f"with {worker_report.workers} worker(s)"
+            ]
+            if worker_report.degraded is not None:
+                lines.append(f"  {worker_report.degraded}")
+            if worker_report.exitcodes:
+                codes = ", ".join(str(code) for code in worker_report.exitcodes)
+                lines.append(f"  worker exit codes: {codes}")
+            lines.append(
+                f"{worker_report.completed}/{worker_report.total} cell(s) in the store"
+            )
+            lines.append(
+                "sweep complete"
+                if worker_report.complete
+                else "sweep incomplete — re-run the same command to resume"
+            )
+            return "\n".join(lines)
         report = run_sweep(
             grid, store, jobs=args.jobs, max_cells=args.max_cells, progress=progress
         )
@@ -389,6 +460,14 @@ def _run_sweep_cli(args: argparse.Namespace) -> str:
     store = RunStore(args.store)
     if args.sweep_command == "status":
         return render_sweep_status(sweep_status(grid, store))
+    if args.sweep_command == "watch":
+        status = worker_status(grid, store)
+        if not args.once:
+            while status["done"] < status["total"]:
+                print(render_sweep_watch(status), flush=True)
+                time.sleep(args.interval)
+                status = worker_status(grid, store)
+        return render_sweep_watch(status)
     if args.sweep_command == "report":
         runs = collect(grid, store, strict=False)
         text = render_sweep_leaderboard(leaderboard_rows(runs, problem=args.problem))
@@ -431,9 +510,11 @@ def _run_store_cli(args: argparse.Namespace) -> str:
         summary = store.gc()
         lines = [
             f"{args.store}: removed {len(summary['removed'])}, "
-            f"reindexed {len(summary['reindexed'])}, kept {summary['kept']}"
+            f"reindexed {len(summary['reindexed'])}, "
+            f"reaped {len(summary['reaped_leases'])} lease(s), kept {summary['kept']}"
         ]
         lines.extend(f"  removed {key}" for key in summary["removed"])
+        lines.extend(f"  reaped lease {key}" for key in summary["reaped_leases"])
         return "\n".join(lines)
     raise ValueError(f"unknown store command {args.store_command!r}")
 

@@ -10,7 +10,8 @@ from the experiment store (``PipelineResult.from_dict(r.to_dict())``)
 renders character-identical to the live result — row order follows the
 result's sampler list (preserved by the round trip) and every float is
 formatted through the same helpers on both paths.  The sweep renderers
-(:func:`render_sweep_status`, :func:`render_sweep_leaderboard`,
+(:func:`render_sweep_status`, :func:`render_sweep_watch`,
+:func:`render_sweep_leaderboard`,
 :func:`render_sweep_comparison`) print the aggregate tables behind
 ``repro sweep status|report``.
 """
@@ -159,6 +160,35 @@ def render_sweep_status(status: dict) -> str:
     return "\n".join(lines)
 
 
+def render_sweep_watch(status: dict) -> str:
+    """Render a :func:`repro.sweep.worker_status` dict as a live cell table.
+
+    One row per grid cell with its lease lifecycle state (``done`` /
+    ``leased`` / ``orphaned`` / ``pending``), the owning worker and the
+    lease's remaining seconds — the body of ``repro sweep watch``.
+    """
+    lines = [
+        (
+            f"sweep: {status['done']}/{status['total']} done | "
+            f"{status['leased']} leased, {status['orphaned']} orphaned, "
+            f"{status['pending']} pending"
+        ),
+        _format_row(["cell", "key", "state", "owner", "ttl", "spec"], [6, 26, 9, 24, 8, 40]),
+    ]
+    for index, row in enumerate(status["cells"]):
+        spec = row["spec"]
+        source = spec.scenario if spec.scenario is not None else (spec.trace or "sprint")
+        description = f"{source} | {spec.samplers[0]} | seed={spec.seed}"
+        remaining = "-" if row["remaining"] is None else f"{row['remaining']:.1f}s"
+        lines.append(
+            _format_row(
+                [str(index), row["key"], row["state"], row["owner"] or "-", remaining, description],
+                [6, 26, 9, 24, 8, 40],
+            )
+        )
+    return "\n".join(lines)
+
+
 def render_sweep_leaderboard(rows: Sequence[dict]) -> str:
     """Render :func:`repro.sweep.leaderboard_rows` as per-source tables.
 
@@ -244,6 +274,7 @@ __all__ = [
     "render_simulation_result",
     "render_pipeline_result",
     "render_sweep_status",
+    "render_sweep_watch",
     "render_sweep_leaderboard",
     "render_sweep_comparison",
     "acceptable_rate_threshold",

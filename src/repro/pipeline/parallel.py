@@ -40,6 +40,7 @@ never by completion order.  The test suite asserts this equality.
 from __future__ import annotations
 
 import copy
+import multiprocessing
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
@@ -295,6 +296,49 @@ class ExecutionPlan:
         return np.random.default_rng(self.expand_entropy)
 
 
+def _spawn_probe_target() -> None:
+    """No-op child-process target for :func:`probe_process_spawn`."""
+
+
+def probe_process_spawn(timeout: float = 30.0) -> str | None:
+    """Why worker processes cannot be started here — or ``None`` if they can.
+
+    Starts (and immediately joins) one trivial child process.  Sandboxed
+    or resource-exhausted environments fail at ``fork``/``spawn`` time
+    with ``OSError``/``PermissionError``; interpreters embedded without
+    a main module raise ``RuntimeError``.  Callers that want graceful
+    degradation (``repro.sweep.run_sweep_workers``) probe once up front
+    instead of half-starting a worker pool.
+
+    Parameters
+    ----------
+    timeout:
+        Seconds to wait for the probe child to exit before declaring
+        the environment unusable for process workers.
+
+    Returns
+    -------
+    str | None
+        ``None`` when a child process started and exited cleanly, else
+        a one-line diagnostic naming the failure.
+    """
+    try:
+        process = multiprocessing.get_context().Process(
+            target=_spawn_probe_target, daemon=True
+        )
+        process.start()
+        process.join(timeout)
+        if process.is_alive():
+            process.kill()
+            process.join(1.0)
+            return f"probe process did not exit within {timeout:g}s"
+        if process.exitcode != 0:
+            return f"probe process exited with code {process.exitcode}"
+    except (OSError, PermissionError, RuntimeError, ValueError) as error:
+        return f"{type(error).__name__}: {error}"
+    return None
+
+
 def _run_cell_batch(
     plan: ExecutionPlan, cell_indices: list[int]
 ) -> tuple[list[int], StreamOutcome]:
@@ -390,4 +434,5 @@ __all__ = [
     "Cell",
     "ExecutionPlan",
     "merge_outcomes",
+    "probe_process_spawn",
 ]

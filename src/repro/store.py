@@ -43,8 +43,16 @@ Layout on disk::
 
     <root>/
       index.json           # {"salt": ..., "entries": {key: spec dict}}
+      index.lock           # flock target serialising index merges
       runs/<key>.json      # {"key", "salt", "spec", "result"}
       runs/<key>.npz       # large arrays, when array_format="npz"
+      leases/<key>.json    # in-flight claim: {"key", "owner", "deadline"}
+
+Leases are the distribution primitive: ``claim`` lets N uncoordinated
+worker processes drain one sweep with no coordination channel beyond
+this directory (see :mod:`repro.sweep`).  A lease is an *advisory*
+claim with a deadline — completed artifacts always win over leases,
+and an expired lease (a crashed worker) is reclaimable by anyone.
 
 See ``docs/sweeps.md`` for the full contract and the resumable sweep
 orchestrator built on top (:mod:`repro.sweep`).
@@ -52,13 +60,20 @@ orchestrator built on top (:mod:`repro.sweep`).
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import io
 import json
 import os
-from collections.abc import Mapping
+import time
+from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+
+try:  # POSIX-only; the index merge loop degrades gracefully without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -245,6 +260,66 @@ class StoredRun:
     result: PipelineResult
 
 
+@dataclass(frozen=True)
+class Lease:
+    """An advisory claim on one pending cell by one worker.
+
+    A lease is a ``leases/<key>.json`` file: whoever holds it intends
+    to compute the artifact for ``key`` before ``deadline`` (a
+    monotonic-clock timestamp).  Leases are *advisory* — they only
+    prevent duplicate work, never corruption: artifacts are atomic and
+    idempotent, so even a duplicated execution converges to the same
+    bytes.  An expired lease marks a crashed (or stalled) worker and
+    may be reclaimed by anyone.
+    """
+
+    key: str
+    owner: str
+    deadline: float
+    acquired: float
+
+    def expired(self, now: float) -> bool:
+        """Whether the holder's deadline has passed at clock time ``now``."""
+        return now >= self.deadline
+
+    def remaining(self, now: float) -> float:
+        """Seconds of validity left at clock time ``now`` (never negative)."""
+        return max(0.0, self.deadline - now)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly export; inverse of :meth:`from_dict`."""
+        return {
+            "key": self.key,
+            "owner": self.owner,
+            "deadline": float(self.deadline),
+            "acquired": float(self.acquired),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Lease":
+        """Rebuild a lease from its :meth:`to_dict` representation."""
+        return cls(
+            key=str(data["key"]),
+            owner=str(data["owner"]),
+            deadline=float(data["deadline"]),
+            acquired=float(data["acquired"]),
+        )
+
+
+def default_clock() -> float:
+    """The store's default lease clock: the machine-wide monotonic clock.
+
+    Lease deadlines only order events *between live processes on one
+    machine sharing one store directory*; they never enter results,
+    keys or artifacts, so reading the clock here cannot break
+    reproducibility.  ``time.monotonic`` (CLOCK_MONOTONIC) is shared
+    across processes on the platforms the worker pool supports and is
+    immune to wall-clock steps from NTP.  Tests inject a fake clock
+    through ``RunStore(clock=...)`` instead of patching this.
+    """
+    return time.monotonic()  # reprolint: disable=wall-clock -- lease TTLs order live processes only; never enters results or keys
+
+
 @dataclass
 class VerifyReport:
     """Outcome of :meth:`RunStore.verify`: what was checked, what is wrong."""
@@ -287,13 +362,32 @@ class RunStore:
     """
 
     INDEX_NAME = "index.json"
+    INDEX_LOCK = "index.lock"
     RUNS_DIR = "runs"
+    LEASES_DIR = "leases"
 
-    def __init__(self, root: str | Path, array_format: str = "json") -> None:
+    #: Bounded retries for the read-merge-verify index update loop.
+    INDEX_MERGE_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        root: str | Path,
+        array_format: str = "json",
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         if array_format not in ("json", "npz"):
             raise ValueError(f"unknown array_format {array_format!r}; expected 'json' or 'npz'")
         self.root = Path(root)
         self.array_format = array_format
+        #: Lease clock; injectable so tests control expiry deterministically.
+        self.clock: Callable[[], float] = clock if clock is not None else default_clock
+        #: Test hook fired at named points inside :meth:`put` (the
+        #: fault-injection suite uses it to kill a worker between the
+        #: artifact write and the index update).  ``None`` in production.
+        self.on_event: Callable[[str, str], None] | None = None
+        #: Keys this instance has put — the index merge loop re-asserts
+        #: them so a concurrent writer can never erase our entries.
+        self._written_entries: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # Paths and index
@@ -308,24 +402,42 @@ class RunStore:
         """Directory holding one artifact set per stored run."""
         return self.root / self.RUNS_DIR
 
+    @property
+    def leases_dir(self) -> Path:
+        """Directory holding one advisory lease file per in-flight cell."""
+        return self.root / self.LEASES_DIR
+
     def run_path(self, key: str) -> Path:
         """JSON artifact path of one key."""
         return self.runs_dir / f"{key}.json"
 
+    def lease_path(self, key: str) -> Path:
+        """Lease file path of one key."""
+        return self.leases_dir / f"{key}.json"
+
     def _npz_path(self, key: str) -> Path:
         return self.runs_dir / f"{key}.npz"
 
+    def _fire(self, event: str, key: str) -> None:
+        if self.on_event is not None:
+            self.on_event(event, key)
+
     def _load_index(self) -> dict:
-        """The parsed index, cached against the file's (mtime, size).
+        """The parsed index, cached against the file's (mtime, size, inode).
 
         ``put`` is called once per sweep cell; caching the parse keeps a
         long sweep from re-reading a growing index file on every cell,
         while the stat check still picks up writes made by another
-        process (full reconciliation is ``gc``'s job).
+        process.  The inode is part of the stamp because every index
+        write lands via ``os.replace`` of a fresh temp file: two writes
+        inside one mtime tick with equal sizes still get distinct
+        inodes, so a concurrent writer can never leave this cache
+        serving a stale parse (the regression
+        ``tests/test_store.py::TestConcurrentIndexWriters`` pins).
         """
         try:
             stat = self.index_path.stat()
-            stamp = (stat.st_mtime_ns, stat.st_size)
+            stamp = (stat.st_mtime_ns, stat.st_size, stat.st_ino)
         except OSError:
             self._index_cache = None
             return {"format": STORE_FORMAT, "salt": STORE_SALT, "entries": {}}
@@ -341,7 +453,57 @@ class RunStore:
         index["entries"] = {key: entries[key] for key in sorted(entries)}
         _atomic_write_text(self.index_path, json.dumps(index, indent=2, sort_keys=True) + "\n")
         stat = self.index_path.stat()
-        self._index_cache = ((stat.st_mtime_ns, stat.st_size), index)
+        self._index_cache = ((stat.st_mtime_ns, stat.st_size, stat.st_ino), index)
+
+    @contextlib.contextmanager
+    def _index_lock(self) -> Iterator[None]:
+        """Hold an exclusive advisory lock over an index merge cycle.
+
+        ``flock`` on a sibling ``index.lock`` file serialises the
+        read-merge-write cycles of concurrent writers.  Without it, a
+        writer that read the index before our merge can replace the
+        file after our verify pass returned — a lost update no
+        optimistic retry loop can see.  On platforms without ``fcntl``
+        the lock is a no-op and the merge loop below stays best-effort
+        (the artifacts remain the source of truth; ``gc`` reindexes).
+        """
+        if fcntl is None:
+            yield
+            return
+        fd = os.open(self.root / self.INDEX_LOCK, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor releases the lock
+
+    def _record_in_index(self, key: str, spec_dict: dict) -> None:
+        """Merge one entry into the index, surviving concurrent writers.
+
+        The index is a cache of the ``runs/`` directory, but a lost
+        update would still make ``repro store ls`` lie until the next
+        ``gc``.  Writers therefore take the index lock and loop:
+        re-read the freshest on-disk index (the inode-aware stamp
+        defeats the parse cache whenever another process replaced the
+        file), merge *every* entry this instance has ever written,
+        publish, and re-read to verify.  Under the lock one pass
+        suffices; the loop is the safety net for platforms where the
+        lock is a no-op.
+        """
+        self._written_entries[key] = spec_dict
+        with self._index_lock():
+            for _ in range(self.INDEX_MERGE_ATTEMPTS):
+                index = self._load_index()
+                missing = {
+                    entry_key: entry
+                    for entry_key, entry in self._written_entries.items()
+                    if entry_key not in index["entries"]
+                }
+                if not missing:
+                    return
+                merged = dict(index)
+                merged["entries"] = {**index["entries"], **missing}
+                self._write_index(merged)
 
     # ------------------------------------------------------------------
     # Core operations
@@ -362,7 +524,9 @@ class RunStore:
         lands via a same-directory temp file and ``os.replace``, so a
         sweep killed mid-write never leaves a truncated artifact that
         a resumed sweep would mistake for a cache hit.  The NPZ sibling
-        is replaced before the JSON that references it.
+        is replaced before the JSON that references it, and any lease
+        on the key is released last — a completed artifact always wins
+        over a lease, whatever instant a worker dies at.
         """
         key = store_key(spec)
         self.runs_dir.mkdir(parents=True, exist_ok=True)
@@ -381,9 +545,9 @@ class RunStore:
         _atomic_write_text(
             self.run_path(key), json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
-        index = self._load_index()
-        index["entries"][key] = spec.canonical().to_dict()
-        self._write_index(index)
+        self._fire("put.after-artifact", key)
+        self._record_in_index(key, spec.canonical().to_dict())
+        self.lease_path(key).unlink(missing_ok=True)
         return key
 
     def get(self, spec: RunSpec | str) -> StoredRun | None:
@@ -416,6 +580,155 @@ class RunStore:
         ]
 
     # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def get_lease(self, key: str) -> Lease | None:
+        """The current lease on ``key``, or ``None`` when absent/corrupt.
+
+        A corrupt lease file (torn by a dying writer, or hand-edited)
+        is reported by :meth:`verify`, reaped by :meth:`gc`, and
+        treated as *expired* by :meth:`claim` — a file nobody can parse
+        protects nobody's work.
+        """
+        try:
+            return Lease.from_dict(json.loads(self.lease_path(key).read_text()))
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _publish_lease(self, lease: Lease) -> bool:
+        """Atomically create ``leases/<key>.json``; False when contended.
+
+        The file is materialised with its full contents under a unique
+        temp name, fsynced, then *hard-linked* into place — ``os.link``
+        fails with ``FileExistsError`` when the lease path already
+        exists, so exactly one of any number of racing workers wins,
+        and a reader can never observe a partially written lease.
+        """
+        self.leases_dir.mkdir(parents=True, exist_ok=True)
+        path = self.lease_path(lease.key)
+        temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        _write_file_synced(temp, (json.dumps(lease.to_dict(), sort_keys=True) + "\n").encode())
+        try:
+            os.link(temp, path)
+        except FileExistsError:
+            return False
+        finally:
+            temp.unlink(missing_ok=True)
+        return True
+
+    def claim(self, spec: RunSpec | str, owner: str, ttl: float) -> Lease | None:
+        """Try to lease one pending cell for ``owner``; ``None`` on failure.
+
+        The decision procedure, in order:
+
+        1. the artifact already exists — nothing to claim (``None``);
+        2. no lease file — atomically create one (hard-link publish:
+           exactly one racing claimer wins);
+        3. a live lease we already own — renew it;
+        4. a live lease owned by someone else — back off (``None``);
+        5. an expired or corrupt lease — the holder crashed: *reclaim*
+           by atomically renaming the dead lease aside (exactly one
+           racing reclaimer wins the rename) and publishing our own.
+
+        ``ttl`` seconds of validity are granted from the store clock;
+        hold the lease alive across long executions with :meth:`renew`.
+        """
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        key = self.key_of(spec)
+        if self.run_path(key).is_file():
+            return None
+        now = self.clock()
+        lease = Lease(key=key, owner=owner, deadline=now + ttl, acquired=now)
+        if self._publish_lease(lease):
+            return lease
+        current = self.get_lease(key)
+        if current is None:
+            # Corrupt (or vanished) lease file: reclaim it like an
+            # expired one — it cannot be protecting live work.
+            return self._reclaim(key, lease)
+        if current.owner == owner and not current.expired(now):
+            return self.renew(current, ttl)
+        if not current.expired(now):
+            return None
+        return self._reclaim(key, lease)
+
+    def _reclaim(self, key: str, lease: Lease) -> Lease | None:
+        """Take over an expired/corrupt lease; ``None`` when we lose the race.
+
+        ``os.rename`` of the dead lease to a per-process tombstone is
+        the mutex: the filesystem lets exactly one racing reclaimer
+        rename the same source file.  The winner removes the tombstone
+        and publishes its own lease (which can still lose to a fresh
+        claimer that slipped into the gap — then this claim fails and
+        the worker simply moves to the next cell).
+        """
+        tomb = self.lease_path(key).with_name(f"{key}.{os.getpid()}.reclaim.tmp")
+        try:
+            os.rename(self.lease_path(key), tomb)
+        except FileNotFoundError:
+            pass  # already reclaimed/released; fall through to publish
+        else:
+            tomb.unlink(missing_ok=True)
+        if self.run_path(key).is_file():
+            return None
+        return lease if self._publish_lease(lease) else None
+
+    def renew(self, lease: Lease, ttl: float) -> Lease | None:
+        """Heartbeat: extend an owned lease; ``None`` when it was lost.
+
+        Re-reads the lease file first — if another worker reclaimed the
+        key (this process stalled past its deadline) the renewal fails
+        and the caller must treat its execution as speculative (the
+        eventual ``put`` is still safe: artifacts are idempotent).
+        """
+        if ttl <= 0:
+            raise ValueError(f"lease ttl must be positive, got {ttl}")
+        current = self.get_lease(lease.key)
+        if current is None or current.owner != lease.owner:
+            return None
+        renewed = replace(current, deadline=self.clock() + ttl)
+        _atomic_write_text(
+            self.lease_path(lease.key), json.dumps(renewed.to_dict(), sort_keys=True) + "\n"
+        )
+        return renewed
+
+    def release(self, lease: Lease) -> None:
+        """Drop an owned lease (no-op when already gone or reclaimed)."""
+        current = self.get_lease(lease.key)
+        if current is not None and current.owner == lease.owner:
+            self.lease_path(lease.key).unlink(missing_ok=True)
+
+    def list_leases(self) -> list[Lease]:
+        """Every parseable lease file, sorted by key (corrupt ones skipped)."""
+        if not self.leases_dir.is_dir():
+            return []
+        leases = []
+        for path in sorted(self.leases_dir.glob("*.json")):
+            lease = self.get_lease(path.stem)
+            if lease is not None:
+                leases.append(lease)
+        return leases
+
+    def cell_state(self, spec: RunSpec | str) -> str:
+        """Lifecycle state of one cell: done, leased, orphaned or pending.
+
+        ``done`` — the artifact exists (leases are irrelevant then);
+        ``leased`` — a live lease holds the cell; ``orphaned`` — the
+        only claim is an expired lease (its worker crashed); ``pending``
+        — no artifact, no lease.
+        """
+        key = self.key_of(spec)
+        if self.run_path(key).is_file():
+            return "done"
+        lease = self.get_lease(key)
+        if lease is None:
+            return "orphaned" if self.lease_path(key).is_file() else "pending"
+        return "orphaned" if lease.expired(self.clock()) else "leased"
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def verify(self) -> VerifyReport:
@@ -428,6 +741,12 @@ class RunStore:
         <repro.pipeline.result.PipelineResult.from_dict>`, and any NPZ
         references must resolve.  Index entries without artifacts (and
         artifacts missing from the index) are reported too.
+
+        Lease files are audited as well: an expired lease (crashed
+        worker), a lease shadowed by its completed artifact, and a
+        lease file that does not parse are all reported — and left in
+        place; reaping is :meth:`gc`'s job, and neither operation ever
+        touches a valid artifact.
         """
         report = VerifyReport()
         index = self._load_index()
@@ -468,6 +787,24 @@ class RunStore:
                 report.issues.extend((key, problem) for problem in problems)
             else:
                 report.ok += 1
+        lease_keys = (
+            sorted(path.stem for path in self.leases_dir.glob("*.json"))
+            if self.leases_dir.is_dir()
+            else []
+        )
+        now = self.clock()
+        for key in lease_keys:
+            lease = self.get_lease(key)
+            if lease is None:
+                report.issues.append((key, "unreadable lease file (run gc to reap it)"))
+            elif self.run_path(key).is_file():
+                report.issues.append(
+                    (key, f"lease by {lease.owner!r} outlived its completed artifact")
+                )
+            elif lease.expired(now):
+                report.issues.append(
+                    (key, f"expired lease by {lease.owner!r} — worker crash? gc reaps it")
+                )
         return report
 
     def gc(self) -> dict:
@@ -476,15 +813,35 @@ class RunStore:
         Removes artifacts whose salt no longer matches (results from an
         older code version) or that fail to parse, drops index entries
         whose artifacts are gone, and indexes orphaned artifacts that
-        are valid.  Returns a summary dictionary with the ``removed``
-        keys, ``reindexed`` keys and the number of entries ``kept``.
+        are valid.  Stale leases are reaped too: expired (their worker
+        crashed), shadowed by a completed artifact, or unreadable —
+        while live leases and valid artifacts are never touched.
+        Returns a summary dictionary with the ``removed`` keys,
+        ``reindexed`` keys, ``reaped_leases`` keys and the number of
+        entries ``kept``.
         """
         index = self._load_index()
         removed: list[str] = []
         reindexed: list[str] = []
+        reaped_leases: list[str] = []
         if self.runs_dir.is_dir():
             for leftover in self.runs_dir.glob("*.tmp"):
                 leftover.unlink()  # interrupted atomic writes
+        if self.leases_dir.is_dir():
+            for leftover in self.leases_dir.glob("*.tmp"):
+                leftover.unlink()  # interrupted lease publishes/reclaims
+            now = self.clock()
+            for path in sorted(self.leases_dir.glob("*.json")):
+                key = path.stem
+                lease = self.get_lease(key)
+                stale = (
+                    lease is None  # unreadable protects nobody
+                    or lease.expired(now)  # holder crashed
+                    or self.run_path(key).is_file()  # artifact won already
+                )
+                if stale:
+                    path.unlink(missing_ok=True)
+                    reaped_leases.append(key)
         on_disk = sorted(
             {path.stem for path in self.runs_dir.glob("*.json")}
             if self.runs_dir.is_dir()
@@ -514,21 +871,44 @@ class RunStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.runs_dir.mkdir(parents=True, exist_ok=True)
         self._write_index(index)
-        return {"removed": removed, "reindexed": reindexed, "kept": len(index["entries"])}
+        return {
+            "removed": removed,
+            "reindexed": reindexed,
+            "reaped_leases": reaped_leases,
+            "kept": len(index["entries"]),
+        }
 
 
 # ----------------------------------------------------------------------
 # Atomic file replacement
 # ----------------------------------------------------------------------
+def _write_file_synced(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` and fsync it before returning.
+
+    The fsync matters for the concurrent-writer contract: once another
+    process can observe the file (after a subsequent ``os.replace`` or
+    ``os.link``), its stat stamp — mtime, size *and* inode — reflects
+    exactly these bytes, so the inode-aware index parse cache can never
+    validate against content it has not seen.
+    """
+    with open(path, "wb") as handle:  # reprolint: disable=non-atomic-write -- the one raw-write primitive; every caller publishes via os.replace/os.link
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
 def _atomic_write_bytes(path: Path, data: bytes) -> None:
     """Write ``data`` to ``path`` via a same-directory temp file + rename.
 
     ``os.replace`` is atomic on POSIX and Windows, so readers (and a
     resumed sweep's hit check) only ever see the old file, the new
-    file, or no file — never a truncated one.
+    file, or no file — never a truncated one.  The temp name embeds the
+    writer's pid: two uncoordinated workers replacing the same path
+    (idempotent duplicate puts, index merges) never share a temp file,
+    so neither can rename the other's half-written bytes into place.
     """
-    temp = path.with_name(path.name + ".tmp")
-    temp.write_bytes(data)
+    temp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    _write_file_synced(temp, data)
     os.replace(temp, path)
 
 
@@ -588,9 +968,11 @@ def _restore_arrays(result_dict: dict, arrays: Mapping[str, np.ndarray]) -> dict
 __all__ = [
     "STORE_FORMAT",
     "STORE_SALT",
+    "Lease",
     "RunSpec",
     "RunStore",
     "StoredRun",
     "VerifyReport",
+    "default_clock",
     "store_key",
 ]

@@ -31,15 +31,30 @@ On top of the raw cells, :func:`leaderboard_rows` ranks samplers per
 scenario by mean swapped pairs and :func:`comparison_rows` reports
 metric deltas against a named baseline sweep (another store); the CLI
 surfaces both as ``repro sweep report``.
+
+Because cells are content-addressed and idempotent, a sweep also
+distributes: :class:`SweepWorker` drains the grid cooperatively with
+any number of other workers sharing the store directory (cells are
+leased via :meth:`RunStore.claim <repro.store.RunStore.claim>`, crashed
+workers' leases expire and are reclaimed), and
+:func:`run_sweep_workers` spawns N such workers as processes —
+``repro sweep run --workers N`` on the CLI, with ``repro sweep watch``
+showing live pending/leased/done/orphaned counts via
+:func:`worker_status`.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import threading
+import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
+from .pipeline.parallel import probe_process_spawn
 from .spec import format_spec, parse_spec
-from .store import RunSpec, RunStore, StoredRun
+from .store import Lease, RunSpec, RunStore, StoredRun
 
 
 @dataclass(frozen=True)
@@ -261,6 +276,471 @@ def collect(grid: SweepGrid, store: RunStore, *, strict: bool = True) -> list[St
 
 
 # ----------------------------------------------------------------------
+# Distributed execution: leased, crash-safe workers
+# ----------------------------------------------------------------------
+
+#: Default lease TTL in seconds.  Generous against multi-second cells
+#: (the heartbeat renews at a third of this), short enough that a
+#: crashed worker's cells are reclaimed promptly by its survivors.
+DEFAULT_LEASE_TTL = 30.0
+
+#: Fault-injection points, in cell-lifecycle order.  ``claim.before``
+#: and ``claim.after`` bracket the lease acquisition, ``execute.mid``
+#: fires once the cell is leased but before its result exists, and
+#: ``put.after-artifact`` fires between the artifact write and the
+#: index update / lease release (the nastiest crash window).
+FAULT_EVENTS = (
+    "claim.before",
+    "claim.after",
+    "execute.mid",
+    "put.after-artifact",
+)
+
+
+class WorkerCrash(RuntimeError):
+    """Simulated worker death, raised by a :class:`FaultPlan` soft kill."""
+
+
+@dataclass(frozen=True)
+class Kill:
+    """One scheduled death: ``owner`` dies the ``occurrence``-th time it
+    reaches ``event`` (an entry of :data:`FAULT_EVENTS`)."""
+
+    owner: str
+    event: str
+    occurrence: int = 1
+
+    def __post_init__(self) -> None:
+        if self.event not in FAULT_EVENTS:
+            raise ValueError(
+                f"unknown fault event {self.event!r}; expected one of {FAULT_EVENTS}"
+            )
+        if self.occurrence < 1:
+            raise ValueError(f"occurrence must be at least 1, got {self.occurrence}")
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic kill schedule injected into :class:`SweepWorker`.
+
+    The worker reports every lifecycle event it passes through via
+    :meth:`fire`; when an event matches one of the scheduled
+    :class:`Kill` entries the plan kills the worker — by raising
+    :class:`WorkerCrash` (``hard=False``, the in-process simulation the
+    hypothesis suite drives) or by ``os._exit(137)`` (``hard=True``,
+    indistinguishable from SIGKILL: no ``finally`` blocks, no lease
+    release, no index update).
+
+    The same plan instance can drive several sequential workers — the
+    per-(owner, event) occurrence counters live on the plan, so a
+    schedule is reproducible from a fresh plan and a fixed worker
+    order.
+    """
+
+    kills: tuple[Kill, ...] = ()
+    hard: bool = False
+    counts: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.kills = tuple(self.kills)
+
+    def fire(self, owner: str, event: str) -> None:
+        """Record one lifecycle event; kill the caller if scheduled."""
+        count = self.counts.get((owner, event), 0) + 1
+        self.counts[(owner, event)] = count
+        for kill in self.kills:
+            if (kill.owner, kill.event, kill.occurrence) == (owner, event, count):
+                if self.hard:
+                    os._exit(137)
+                raise WorkerCrash(
+                    f"worker {owner!r} killed at {event} (occurrence {count})"
+                )
+
+
+@dataclass
+class WorkerReport:
+    """What one :meth:`SweepWorker.run` drain did (readable mid-crash).
+
+    ``executed`` holds the keys this worker completed (artifact written
+    *and* indexed); ``skipped`` counts claim attempts lost to a live
+    lease held by someone else; ``passes`` counts full scans over the
+    grid.  The report object is created up front and mutated in place,
+    so a crashed worker's partial report is still inspectable.
+    """
+
+    owner: str
+    total: int = 0
+    executed: list[str] = field(default_factory=list)
+    skipped: int = 0
+    passes: int = 0
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Background renewal of one lease at ttl/3 while its cell executes.
+
+    Keeps a slow cell's lease alive indefinitely; stops renewing (and
+    records :attr:`lost`) the moment the lease is observed reclaimed,
+    so a worker wrongly presumed dead does not fight its reclaimer.
+    """
+
+    def __init__(self, store: RunStore, lease: Lease, ttl: float) -> None:
+        super().__init__(daemon=True, name=f"lease-heartbeat-{lease.key}")
+        self._store = store
+        self._lease = lease
+        self._ttl = ttl
+        self._stopped = threading.Event()
+        self.lost = False
+
+    def run(self) -> None:
+        interval = max(self._ttl / 3.0, 0.01)
+        lease = self._lease
+        while not self._stopped.wait(interval):
+            renewed = self._store.renew(lease, self._ttl)
+            if renewed is None:
+                self.lost = True
+                return
+            lease = renewed
+
+    def stop(self) -> None:
+        self._stopped.set()
+        self.join(timeout=5.0)
+
+
+class SweepWorker:
+    """One cooperative drain loop over a grid, leasing cells as it goes.
+
+    N workers pointed at the same grid and store directory need no
+    other coordination channel: each scans the grid in order, skips
+    cells whose artifact exists, and tries to :meth:`~repro.store.RunStore.claim`
+    the rest.  A claimed cell is executed and :meth:`~repro.store.RunStore.put`;
+    a cell leased by a *live* peer is skipped; a lease whose deadline
+    passed (its owner crashed) is reclaimed by whoever scans it next.
+    When every remaining cell is held by live peers the worker sleeps
+    ``poll_seconds`` and rescans, until the grid is fully done.
+
+    Duplicate execution (a slow-but-alive worker losing its lease to an
+    over-eager reclaimer) is *safe*, merely wasteful: cells are
+    deterministic, so both workers write bit-identical artifacts and
+    the atomic ``put`` makes the second write a no-op in effect.
+
+    ``sleep`` and the store's ``clock`` are injectable, so the fault
+    suite can simulate whole multi-worker schedules deterministically
+    in one process; ``heartbeat=False`` disables the background renewal
+    thread for those tests.
+
+    >>> import tempfile
+    >>> from repro.store import RunStore
+    >>> grid = SweepGrid(
+    ...     scenarios=("steady:duration=60,scale=0.002",),
+    ...     samplers=("bernoulli",), rates=(0.5,), seeds=(0,), num_runs=1,
+    ... )
+    >>> store = RunStore(tempfile.mkdtemp())
+    >>> report = SweepWorker(grid, store, "w0", heartbeat=False).run()
+    >>> (report.total, len(report.executed), report.skipped)
+    (1, 1, 0)
+    >>> worker_status(grid, store)["done"]
+    1
+    """
+
+    def __init__(
+        self,
+        grid: SweepGrid,
+        store: RunStore,
+        owner: str,
+        *,
+        ttl: float = DEFAULT_LEASE_TTL,
+        parallel: str | bool | int | None = "serial",
+        jobs: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        heartbeat: bool = True,
+        poll_seconds: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.grid = grid
+        self.store = store
+        self.owner = owner
+        self.ttl = float(ttl)
+        self.parallel = parallel
+        self.jobs = jobs
+        self.fault_plan = fault_plan
+        self.heartbeat = heartbeat
+        self.poll_seconds = float(poll_seconds)
+        self.sleep = sleep
+        self.report = WorkerReport(owner=owner)
+
+    # ------------------------------------------------------------------
+    def _fire(self, event: str) -> None:
+        if self.fault_plan is not None:
+            self.fault_plan.fire(self.owner, event)
+
+    def _store_event(self, event: str, key: str) -> None:
+        del key
+        self._fire(event)
+
+    def _execute_cell(self, spec: RunSpec, lease: Lease) -> None:
+        beat = _LeaseHeartbeat(self.store, lease, self.ttl) if self.heartbeat else None
+        if beat is not None:
+            beat.start()
+        try:
+            self._fire("execute.mid")
+            result = spec.execute(parallel=self.parallel, jobs=self.jobs)
+        finally:
+            if beat is not None:
+                beat.stop()
+        self.store.put(spec, result)
+        self.store.release(lease)
+        self.report.executed.append(self.store.key_of(spec))
+
+    def run(self) -> WorkerReport:
+        """Drain until every cell of the grid is in the store.
+
+        Returns this worker's :class:`WorkerReport`; raises
+        :class:`WorkerCrash` when the fault plan kills the worker
+        (the report stays readable either way).
+        """
+        cells = self.grid.cells()
+        self.report.total = len(cells)
+        if self.fault_plan is not None:
+            self.store.on_event = self._store_event
+        try:
+            while True:
+                self.report.passes += 1
+                pending = False
+                progressed = False
+                for spec in cells:
+                    if spec in self.store:
+                        continue
+                    pending = True
+                    self._fire("claim.before")
+                    lease = self.store.claim(spec, self.owner, self.ttl)
+                    if lease is None:
+                        self.report.skipped += 1
+                        continue
+                    self._fire("claim.after")
+                    self._execute_cell(spec, lease)
+                    progressed = True
+                if not pending:
+                    return self.report
+                if not progressed:
+                    # Every remaining cell is held by a live peer: wait
+                    # for it to finish or for its lease to expire.
+                    self.sleep(self.poll_seconds)
+        finally:
+            if self.fault_plan is not None:
+                self.store.on_event = None
+
+
+def _worker_entry(
+    grid: SweepGrid,
+    store_root: str,
+    array_format: str,
+    owner: str,
+    ttl: float,
+    parallel: str | bool | int | None,
+    jobs: int | None,
+) -> None:
+    """Child-process entry point: open a private store handle and drain."""
+    store = RunStore(store_root, array_format=array_format)
+    SweepWorker(grid, store, owner, ttl=ttl, parallel=parallel, jobs=jobs).run()
+
+
+@dataclass
+class WorkerPool:
+    """Handle on the worker processes started by :func:`start_sweep_workers`."""
+
+    processes: list
+    owners: list[str]
+
+    @property
+    def pids(self) -> list[int | None]:
+        """OS pids, in worker order (CI's kill-and-resume test SIGKILLs one)."""
+        return [process.pid for process in self.processes]
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for every worker to exit (``timeout`` applies per process)."""
+        for process in self.processes:
+            process.join(timeout)
+
+    def exitcodes(self) -> list[int | None]:
+        """Exit codes in worker order: 0 clean, negative = killed by signal,
+        ``None`` = still running."""
+        return [process.exitcode for process in self.processes]
+
+    def terminate(self) -> None:
+        """SIGTERM every still-running worker (cells in flight are lost
+        to their leases, which expire and are reclaimed on the next run)."""
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+
+
+def start_sweep_workers(
+    grid: SweepGrid,
+    store: RunStore,
+    workers: int,
+    *,
+    ttl: float = DEFAULT_LEASE_TTL,
+    parallel: str | bool | int | None = "serial",
+    jobs: int | None = None,
+    owner_prefix: str = "worker",
+) -> WorkerPool:
+    """Spawn ``workers`` uncoordinated drain processes over one grid.
+
+    Each child opens its own :class:`~repro.store.RunStore` on the same
+    directory and runs a :class:`SweepWorker`; nothing is shared but
+    the filesystem.  Owner ids embed the parent pid, so two pools (or a
+    pool and its rerun after a crash) never collide.
+
+    Raises ``OSError``/``RuntimeError`` when processes cannot be
+    spawned — any workers already started are terminated first, so a
+    partial pool never leaks.  :func:`run_sweep_workers` wraps this
+    with graceful degradation to a serial in-process drain.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    context = multiprocessing.get_context()
+    processes: list = []
+    owners: list[str] = []
+    try:
+        for index in range(workers):
+            owner = f"{owner_prefix}-{os.getpid()}-{index}"
+            process = context.Process(
+                target=_worker_entry,
+                args=(grid, str(store.root), store.array_format, owner, ttl, parallel, jobs),
+                name=f"sweep-{owner}",
+            )
+            process.start()
+            processes.append(process)
+            owners.append(owner)
+    except (OSError, PermissionError, RuntimeError):
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(5.0)
+        raise
+    return WorkerPool(processes=processes, owners=owners)
+
+
+@dataclass
+class DistributedSweepReport:
+    """What one :func:`run_sweep_workers` invocation achieved.
+
+    ``completed`` counts grid cells present in the store afterwards;
+    ``exitcodes`` are the workers' exit statuses (empty for the
+    in-process paths); ``degraded`` carries the reason when process
+    spawn was unavailable and the drain ran serially instead.
+    """
+
+    total: int
+    completed: int
+    workers: int
+    exitcodes: list = field(default_factory=list)
+    degraded: str | None = None
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the grid is now in the store."""
+        return self.completed == self.total
+
+
+def run_sweep_workers(
+    grid: SweepGrid,
+    store: RunStore,
+    workers: int = 2,
+    *,
+    ttl: float = DEFAULT_LEASE_TTL,
+    parallel: str | bool | int | None = "serial",
+    jobs: int | None = None,
+) -> DistributedSweepReport:
+    """Drain the grid with ``workers`` processes, degrading gracefully.
+
+    ``workers=1`` drains in process (no spawn at all).  For higher
+    counts the environment is probed first
+    (:func:`~repro.pipeline.parallel.probe_process_spawn`); when
+    processes cannot be spawned — sandboxes, resource exhaustion — the
+    drain falls back to a serial in-process worker and records why in
+    ``degraded``.  Workers default to ``parallel="serial"`` per cell:
+    with N workers running cells concurrently, nested process pools
+    would oversubscribe the machine.
+
+    A non-zero exit code (e.g. a SIGKILLed worker) does **not** imply
+    an incomplete sweep: surviving workers reclaim the dead worker's
+    expired leases and finish the grid.  Check ``report.complete`` —
+    when False, re-running the same call resumes exactly the missing
+    cells.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be at least 1, got {workers}")
+    cells = grid.cells()
+    degraded: str | None = None
+    exitcodes: list = []
+    spawn_problem = probe_process_spawn() if workers > 1 else None
+    if workers > 1 and spawn_problem is None:
+        try:
+            pool = start_sweep_workers(
+                grid, store, workers, ttl=ttl, parallel=parallel, jobs=jobs
+            )
+        except (OSError, PermissionError, RuntimeError) as error:
+            spawn_problem = f"{type(error).__name__}: {error}"
+        else:
+            pool.join()
+            exitcodes = pool.exitcodes()
+    if workers == 1 or spawn_problem is not None:
+        if spawn_problem is not None:
+            degraded = f"worker processes unavailable ({spawn_problem}); ran serially"
+        SweepWorker(
+            grid,
+            store,
+            f"worker-{os.getpid()}-serial",
+            ttl=ttl,
+            parallel=parallel,
+            jobs=jobs,
+        ).run()
+    completed = sum(1 for spec in cells if spec in store)
+    return DistributedSweepReport(
+        total=len(cells),
+        completed=completed,
+        workers=workers,
+        exitcodes=exitcodes,
+        degraded=degraded,
+    )
+
+
+def worker_status(grid: SweepGrid, store: RunStore) -> dict:
+    """Live distribution view of the grid — what ``repro sweep watch`` shows.
+
+    Classifies every cell via :meth:`RunStore.cell_state
+    <repro.store.RunStore.cell_state>` and returns ``total`` plus
+    ``done`` / ``leased`` / ``orphaned`` / ``pending`` counts and a
+    ``cells`` list of per-cell dicts (``key``, ``state``, ``owner``,
+    ``remaining`` lease seconds, ``spec``) in grid order.  ``orphaned``
+    cells — an expired or corrupt lease with no artifact — are exactly
+    the ones a crashed worker left behind; any running worker (or the
+    next ``sweep run``) reclaims them.
+    """
+    now = store.clock()
+    counts = {"done": 0, "leased": 0, "orphaned": 0, "pending": 0}
+    rows: list[dict] = []
+    for spec in grid.cells():
+        key = store.key_of(spec)
+        state = store.cell_state(key)
+        counts[state] += 1
+        lease = store.get_lease(key) if state in ("leased", "orphaned") else None
+        rows.append(
+            {
+                "key": key,
+                "state": state,
+                "owner": None if lease is None else lease.owner,
+                "remaining": (
+                    lease.remaining(now) if lease is not None and state == "leased" else None
+                ),
+                "spec": spec,
+            }
+        )
+    return {"total": len(rows), **counts, "cells": rows}
+
+
+# ----------------------------------------------------------------------
 # Aggregation / comparison
 # ----------------------------------------------------------------------
 def _source_label(spec: RunSpec) -> str:
@@ -386,12 +866,24 @@ def comparison_rows(
 
 
 __all__ = [
+    "DEFAULT_LEASE_TTL",
+    "DistributedSweepReport",
+    "FAULT_EVENTS",
+    "FaultPlan",
+    "Kill",
     "SweepGrid",
     "SweepReport",
+    "SweepWorker",
+    "WorkerCrash",
+    "WorkerPool",
+    "WorkerReport",
     "aggregate_rows",
     "collect",
     "comparison_rows",
     "leaderboard_rows",
     "run_sweep",
+    "run_sweep_workers",
+    "start_sweep_workers",
     "sweep_status",
+    "worker_status",
 ]

@@ -136,6 +136,25 @@ RULE_FIXTURES = [
         "    return scale\n",
     ),
     (
+        "non-atomic-write",
+        "def save(path, data):\n    path.write_text(data)\n",
+        "import os\n"
+        "def save(path, data):\n"
+        "    temp = path.with_name(path.name + '.tmp')\n"
+        "    temp.write_text(data)\n"
+        "    os.replace(temp, path)\n",
+    ),
+    (
+        # Read-mode opens are not writes; only 'w'/'a'/'x' modes publish.
+        "non-atomic-write",
+        "def save(path, data):\n"
+        "    with open(path, 'w') as handle:\n"
+        "        handle.write(data)\n",
+        "def load(path):\n"
+        "    with open(path) as handle:\n"
+        "        return handle.read()\n",
+    ),
+    (
         "missing-annotations",
         "def run(spec):\n    return spec\n",
         "def run(spec: str) -> str:\n    return spec\n",
@@ -153,11 +172,15 @@ RULE_FIXTURES = [
     ),
 ]
 
-ANNOTATION_MODULE = "repro.store.fixture"  # inside the typed API surface
+ANNOTATION_MODULE = "repro.store.fixture"  # inside the typed API + store surface
+
+#: Rules scoped to a module prefix narrower than the library: their
+#: fixtures must be linted as if they lived under that prefix.
+PREFIX_SCOPED_RULES = ("missing-annotations", "non-atomic-write")
 
 
 def _module_for(rule_name: str) -> str:
-    return ANNOTATION_MODULE if rule_name == "missing-annotations" else LIB
+    return ANNOTATION_MODULE if rule_name in PREFIX_SCOPED_RULES else LIB
 
 
 class TestRuleFixtures:

@@ -164,10 +164,22 @@ class TestCliDocs:
         assert "--jobs" in text
         assert "--scenario" in text
         assert "--chunk-packets" in text
-        for flag in ("--store", "--json", "--max-cells", "--baseline-store", "--seeds"):
+        for flag in (
+            "--store",
+            "--json",
+            "--max-cells",
+            "--baseline-store",
+            "--seeds",
+            "--workers",
+            "--ttl",
+            "--interval",
+            "--once",
+        ):
             assert flag in text, f"cli.md does not document {flag}"
         for store_subcommand in ("store ls", "store verify", "store gc"):
             assert store_subcommand in text
+        for sweep_subcommand in ("sweep run", "sweep status", "sweep watch", "sweep report"):
+            assert sweep_subcommand in text, f"cli.md does not document {sweep_subcommand}"
 
     def test_sweeps_page_covers_the_contract(self):
         """docs/sweeps.md documents the pieces the store contract names."""
@@ -183,6 +195,24 @@ class TestCliDocs:
             "--max-cells",
         ):
             assert term in text, f"sweeps.md does not mention {term}"
+
+    def test_sweeps_page_covers_distributed_execution(self):
+        """The distributed-execution section documents the lease contract."""
+        text = (DOCS / "sweeps.md").read_text()
+        for term in (
+            "Distributed execution",
+            "lease",
+            "--workers",
+            "--ttl",
+            "sweep watch",
+            "orphaned",
+            "heartbeat",
+            "exactly once",
+            "SIGKILL",
+            "run_sweep_workers",
+            "worker_status",
+        ):
+            assert term in text, f"sweeps.md does not document {term!r}"
 
     def test_documented_scenario_specs_parse(self):
         """Every scenario spec quoted in the docs resolves to a factory."""

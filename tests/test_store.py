@@ -386,3 +386,270 @@ class TestRenderDeterminism:
     def test_summary_rows_identical_after_reload(self, result):
         reloaded = PipelineResult.from_dict(json.loads(json.dumps(result.to_dict())))
         assert reloaded.summary_rows() == result.summary_rows()
+
+
+# ----------------------------------------------------------------------
+# Leases: claim / renew / release / expiry / reclaim
+# ----------------------------------------------------------------------
+class FakeClock:
+    """Injectable monotonic clock: tests control lease time explicitly."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+SPEC2 = replace(SPEC, seed=1)
+
+
+class TestLeases:
+    def test_claim_lifecycle(self, tmp_path):
+        clock = FakeClock()
+        store = RunStore(tmp_path / "store", clock=clock)
+        assert store.cell_state(SPEC) == "pending"
+        lease = store.claim(SPEC, "w0", ttl=10.0)
+        assert lease is not None
+        assert lease.owner == "w0" and lease.deadline == 10.0
+        assert store.cell_state(SPEC) == "leased"
+        # A live lease blocks other owners...
+        assert store.claim(SPEC, "w1", ttl=10.0) is None
+        # ...but the holder re-claiming renews its own deadline.
+        clock.tick(4.0)
+        renewed = store.claim(SPEC, "w0", ttl=10.0)
+        assert renewed is not None and renewed.deadline == 14.0
+        store.release(renewed)
+        assert store.cell_state(SPEC) == "pending"
+        assert store.list_leases() == []
+
+    def test_claim_done_cell_returns_none(self, tmp_path, result):
+        store = RunStore(tmp_path / "store", clock=FakeClock())
+        store.put(SPEC, result)
+        assert store.cell_state(SPEC) == "done"
+        assert store.claim(SPEC, "w0", ttl=10.0) is None
+
+    def test_claim_rejects_nonpositive_ttl(self, tmp_path):
+        store = RunStore(tmp_path / "store", clock=FakeClock())
+        with pytest.raises(ValueError, match="ttl"):
+            store.claim(SPEC, "w0", ttl=0.0)
+
+    def test_expired_lease_is_orphaned_then_reclaimable(self, tmp_path):
+        clock = FakeClock()
+        store = RunStore(tmp_path / "store", clock=clock)
+        first = store.claim(SPEC, "w0", ttl=10.0)
+        assert first is not None
+        clock.tick(10.0)  # deadline is inclusive: now >= deadline expires
+        assert store.cell_state(SPEC) == "orphaned"
+        second = store.claim(SPEC, "w1", ttl=10.0)
+        assert second is not None and second.owner == "w1"
+        assert store.cell_state(SPEC) == "leased"
+        # The original holder's renew observes the loss.
+        assert store.renew(first, ttl=10.0) is None
+
+    def test_renew_extends_an_owned_lease(self, tmp_path):
+        clock = FakeClock()
+        store = RunStore(tmp_path / "store", clock=clock)
+        lease = store.claim(SPEC, "w0", ttl=10.0)
+        clock.tick(5.0)
+        renewed = store.renew(lease, ttl=10.0)
+        assert renewed is not None and renewed.deadline == 15.0
+
+    def test_release_ignores_leases_of_other_owners(self, tmp_path):
+        store = RunStore(tmp_path / "store", clock=FakeClock())
+        lease = store.claim(SPEC, "w0", ttl=10.0)
+        store.release(replace(lease, owner="w1"))
+        assert store.cell_state(SPEC) == "leased"  # w0's claim survives
+
+    def test_corrupt_lease_counts_as_orphaned_and_is_reclaimable(self, tmp_path):
+        store = RunStore(tmp_path / "store", clock=FakeClock())
+        key = store.key_of(SPEC)
+        store.leases_dir.mkdir(parents=True)
+        store.lease_path(key).write_text("{not json")
+        assert store.cell_state(SPEC) == "orphaned"
+        assert key not in [lease.key for lease in store.list_leases()]
+        lease = store.claim(SPEC, "w0", ttl=10.0)
+        assert lease is not None and lease.owner == "w0"
+
+    def test_put_wins_over_any_lease(self, tmp_path, result):
+        store = RunStore(tmp_path / "store", clock=FakeClock())
+        assert store.claim(SPEC, "w0", ttl=10.0) is not None
+        store.put(SPEC, result)
+        assert store.cell_state(SPEC) == "done"
+        assert store.list_leases() == []
+
+    def test_claim_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(tmp_path / "store", clock=FakeClock())
+        store.claim(SPEC, "w0", ttl=10.0)
+        assert store.claim(SPEC, "w1", ttl=10.0) is None  # contended path
+        assert not list(store.leases_dir.glob("*.tmp"))
+
+
+class TestLeaseAuditing:
+    """`store verify` reports lease problems; `store gc` reaps them.
+
+    Neither touches valid artifacts or live leases (the satellite
+    contract of the distributed-sweep issue).
+    """
+
+    def _store(self, tmp_path, result) -> tuple[RunStore, FakeClock]:
+        clock = FakeClock()
+        store = RunStore(tmp_path / "store", clock=clock)
+        store.put(SPEC, result)
+        return store, clock
+
+    def test_verify_reports_expired_lease(self, tmp_path, result):
+        store, clock = self._store(tmp_path, result)
+        store.claim(SPEC2, "w0", ttl=5.0)
+        clock.tick(6.0)
+        report = store.verify()
+        issues = dict(report.issues)
+        assert "expired lease" in issues[store.key_of(SPEC2)]
+        assert "w0" in issues[store.key_of(SPEC2)]
+
+    def test_verify_reports_lease_outliving_artifact(self, tmp_path, result):
+        store, _ = self._store(tmp_path, result)
+        key = store.key_of(SPEC)
+        from repro.store import Lease
+
+        store.leases_dir.mkdir(parents=True, exist_ok=True)
+        store.lease_path(key).write_text(
+            json.dumps(Lease(key=key, owner="w0", deadline=99.0, acquired=0.0).to_dict())
+        )
+        report = store.verify()
+        assert any("outlived" in problem for _, problem in report.issues)
+
+    def test_verify_reports_unreadable_lease_and_keeps_it(self, tmp_path, result):
+        store, _ = self._store(tmp_path, result)
+        store.leases_dir.mkdir(parents=True, exist_ok=True)
+        bad = store.leases_dir / "deadbeef.json"
+        bad.write_text("{not json")
+        report = store.verify()
+        assert any("unreadable lease" in problem for _, problem in report.issues)
+        assert bad.is_file()  # verify only reports; gc reaps
+
+    def test_verify_accepts_live_lease_on_pending_cell(self, tmp_path, result):
+        store, _ = self._store(tmp_path, result)
+        store.claim(SPEC2, "w0", ttl=10.0)
+        assert store.verify().clean
+
+    def test_gc_reaps_stale_leases_and_keeps_live_ones(self, tmp_path, result):
+        store, clock = self._store(tmp_path, result)
+        done_key = store.key_of(SPEC)
+        from repro.store import Lease
+
+        # A lease that outlived its completed artifact...
+        store.leases_dir.mkdir(parents=True, exist_ok=True)
+        store.lease_path(done_key).write_text(
+            json.dumps(Lease(key=done_key, owner="w0", deadline=99.0, acquired=0.0).to_dict())
+        )
+        # ...an expired lease on a pending cell...
+        store.claim(SPEC2, "w1", ttl=5.0)
+        expired_key = store.key_of(SPEC2)
+        clock.tick(6.0)
+        # ...an unreadable lease file...
+        (store.leases_dir / "deadbeef.json").write_text("{not json")
+        # ...and a live lease that must survive.
+        live_spec = replace(SPEC, seed=2)
+        live = store.claim(live_spec, "w2", ttl=60.0)
+        assert live is not None
+
+        summary = store.gc()
+        assert sorted(summary["reaped_leases"]) == sorted(
+            [done_key, expired_key, "deadbeef"]
+        )
+        assert store.get_lease(live.key) == live  # live lease untouched
+        assert store.get(SPEC).result is not None  # artifact untouched
+        assert summary["removed"] == [] and summary["kept"] == 1
+        assert store.verify().clean
+
+
+# ----------------------------------------------------------------------
+# Index parse-cache under concurrent writers (regression tests)
+# ----------------------------------------------------------------------
+class TestConcurrentIndexWriters:
+    def test_interleaved_writers_see_each_other(self, tmp_path, result):
+        a = RunStore(tmp_path / "store")
+        b = RunStore(tmp_path / "store")
+        key_a = a.put(SPEC, result)
+        assert [key for key, _ in b.list()] == [key_a]  # b reads a's write
+        key_b = b.put(SPEC2, result)
+        # a's parse cache was warmed by its own put; b's replace must
+        # invalidate it even though a never wrote again.
+        assert sorted(key for key, _ in a.list()) == sorted([key_a, key_b])
+        assert sorted(key for key, _ in b.list()) == sorted([key_a, key_b])
+
+    def test_stale_cache_defeated_when_mtime_and_size_collide(self, tmp_path, result):
+        import os
+
+        from repro.store import _atomic_write_text
+
+        a = RunStore(tmp_path / "store")
+        key_a = a.put(SPEC, result)
+        assert [key for key, _ in a.list()] == [key_a]  # warm a's cache
+        stat = a.index_path.stat()
+        # A second writer replaces the index with different content of
+        # the exact same byte length, then the mtime is forced back to
+        # the cached stamp — only the inode distinguishes the files.
+        fake_key = "f" * len(key_a)
+        text = a.index_path.read_text().replace(key_a, fake_key)
+        _atomic_write_text(a.index_path, text)
+        os.utime(a.index_path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+        after = a.index_path.stat()
+        assert after.st_size == stat.st_size
+        assert after.st_mtime_ns == stat.st_mtime_ns
+        assert [key for key, _ in a.list()] == [fake_key]
+
+    def test_put_merges_entries_written_between_artifact_and_index(
+        self, tmp_path, result
+    ):
+        # Writer B lands a full put in A's window between artifact write
+        # and index update; A's read-merge-verify loop must keep B's
+        # entry rather than resurrecting its own stale snapshot.
+        a = RunStore(tmp_path / "store")
+        b = RunStore(tmp_path / "store")
+
+        def interleave(event: str, key: str) -> None:
+            if event == "put.after-artifact" and key == a.key_of(SPEC):
+                a.on_event = None
+                b.put(SPEC2, result)
+
+        a.on_event = interleave
+        a.put(SPEC, result)
+        expected = sorted([a.key_of(SPEC), b.key_of(SPEC2)])
+        assert sorted(key for key, _ in a.list()) == expected
+        assert sorted(key for key, _ in RunStore(tmp_path / "store").list()) == expected
+
+    def test_threaded_writers_lose_no_index_entries(self, tmp_path, result):
+        # Two writer threads race read-merge-write cycles on the same
+        # index.  Without the flock-serialised merge, a writer that read
+        # the index before a sibling's merge can replace the file after
+        # that sibling's verify pass returned — a lost update neither
+        # retry loop can see.  Every put must survive in the index.
+        import threading
+
+        specs = [replace(SPEC, seed=seed) for seed in range(10)]
+        halves = (specs[:5], specs[5:])
+        errors: list[Exception] = []
+
+        def writer(batch):
+            try:
+                own = RunStore(tmp_path / "store")  # per-thread instance
+                for spec in batch:
+                    own.put(spec, result)
+            except Exception as exc:  # noqa: BLE001 - surfaced to the main thread
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(half,)) for half in halves]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        merged = RunStore(tmp_path / "store")
+        expected = sorted(merged.key_of(spec) for spec in specs)
+        assert sorted(key for key, _ in merged.list()) == expected
+        assert merged.verify().clean
