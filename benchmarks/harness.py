@@ -138,15 +138,37 @@ def bench_sweep(args: argparse.Namespace) -> dict:
     }
 
 
+#: Harness note attached to parallel sections on single-core machines.
+SINGLE_CORE_NOTE = "single-core container — parallel speedup not demonstrable"
+
+
+def _single_core() -> bool:
+    return (os.cpu_count() or 1) < 2
+
+
+def _accounts_identical(left, right) -> bool:
+    """Whether two flushed account lists are bit-for-bit equal."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if (a.index, a.start_time, a.end_time) != (b.index, b.start_time, b.end_time):
+            return False
+        for field in ("codes", "packets", "bytes", "first_seen", "last_seen"):
+            if not np.array_equal(getattr(a, field), getattr(b, field)):
+                return False
+    return True
+
+
 def bench_flow_accounting(args: argparse.Namespace) -> dict:
     """Monitor flow accounting: legacy object path vs columnar engine.
 
     Streams the same expanded packet trace through the per-packet
     ``BinnedFlowTable`` (``backend="object"``) and through the columnar
-    ``FlowAccountingEngine``, asserts the produced bins are
-    bit-identical, and records packets/second for both.  In full mode
-    the workload is at least a million packets so the speedup is
-    measured where it matters.
+    ``FlowAccountingEngine`` with both group-by backends (the reference
+    ``sort`` kernel and the ``hash`` accumulator), asserts all produced
+    bins are bit-identical, and records packets/second for each.  In
+    full mode the workload is at least a million packets so the speedup
+    is measured where it matters.
     """
     scale = args.scale if args.quick else max(args.scale, 0.06)
     generator = TRACES.create("sprint", scale=scale, duration=args.duration)
@@ -171,13 +193,19 @@ def bench_flow_accounting(args: argparse.Namespace) -> dict:
         encoder=encoder,
     )
 
-    def columnar():
-        engine = FlowAccountingEngine(60.0, order_key=encoder.order_key)
+    def columnar(groupby: str):
+        engine = FlowAccountingEngine(60.0, order_key=encoder.order_key, groupby=groupby)
         for chunk in chunks:
             engine.observe_batch(chunk, codes)
         return engine.flush()
 
-    columnar_seconds, accounts = _timed(columnar)
+    sort_seconds, sort_accounts = _timed(lambda: columnar("sort"))
+    columnar_seconds, accounts = _timed(lambda: columnar("hash"))
+    hash_identical = _accounts_identical(accounts, sort_accounts)
+    if not hash_identical:
+        raise SystemExit(
+            "FATAL: hash group-by diverges from the sort backend — kernel regression"
+        )
 
     # Object path: the same stream, one Packet at a time.  Object
     # construction happens outside the timer so both paths are timed on
@@ -231,6 +259,141 @@ def bench_flow_accounting(args: argparse.Namespace) -> dict:
         if columnar_seconds
         else None,
         "speedup": round(object_seconds / columnar_seconds, 2) if columnar_seconds else None,
+        "bit_identical": identical,
+        "sort_seconds": round(sort_seconds, 4),
+        "hash_seconds": round(columnar_seconds, 4),
+        "hash_packets_per_second": round(total_packets / columnar_seconds)
+        if columnar_seconds
+        else None,
+        "hash_speedup": round(sort_seconds / columnar_seconds, 2) if columnar_seconds else None,
+        "hash_bit_identical": hash_identical,
+    }
+
+
+def _outcomes_identical(left, right) -> bool:
+    """Whether two stream/monitor outcomes are bit-for-bit equal."""
+    return (
+        np.array_equal(left.bin_start_times, right.bin_start_times)
+        and left.flows_per_bin == right.flows_per_bin
+        and left.total_packets == right.total_packets
+        and np.array_equal(left.ranking_values, right.ranking_values)
+        and np.array_equal(left.detection_values, right.detection_values)
+    )
+
+
+def bench_batch_transport(args: argparse.Namespace) -> dict:
+    """Zero-copy shared-memory batch transport vs pickle, bit-checked.
+
+    Runs the same two-sampler plan serially and through the process
+    backend at two workers with each batch transport, asserts every
+    outcome matches the serial reference bit for bit, and records the
+    transports actually used (the degradation chain makes ``"shm"``
+    fall back where ``/dev/shm`` is unusable).  On single-core machines
+    the speedup number measures transport overhead, not parallelism —
+    the section says so explicitly.
+    """
+    from repro.pipeline.parallel import probe_shared_memory
+
+    def fresh_plan():
+        return _pipeline(args, rates=(0.1, 0.5), runs=2).plan()
+
+    serial_seconds, serial = _timed(lambda: fresh_plan().execute(backend="serial"))
+    section: dict = {"jobs": 2, "serial_seconds": round(serial_seconds, 4)}
+    shm_error = probe_shared_memory()
+    for transport in ("pickle", "shm"):
+        if transport == "shm" and shm_error is not None:
+            section[transport] = {"unavailable": shm_error}
+            continue
+        # Best of two passes: on few-core machines the producer/consumer
+        # scheduling jitter dwarfs the transport cost on any single run.
+        seconds = None
+        for _ in range(2):
+            plan = fresh_plan()
+            attempt, outcome = _timed(
+                lambda: plan.execute(backend="process", jobs=2, transport=transport)
+            )
+            seconds = attempt if seconds is None else min(seconds, attempt)
+            identical = _outcomes_identical(outcome, serial)
+            if not identical:
+                raise SystemExit(
+                    f"FATAL: {transport} transport diverges from serial — transport regression"
+                )
+        section[transport] = {
+            "seconds": round(seconds, 4),
+            "transport_used": plan.transport_used,
+            "fallback_reason": plan.fallback_reason,
+            "bit_identical": identical,
+        }
+    pickle_seconds = section["pickle"].get("seconds")
+    shm_seconds = section.get("shm", {}).get("seconds")
+    if pickle_seconds and shm_seconds:
+        section["shm_speedup"] = round(pickle_seconds / shm_seconds, 3)
+    if _single_core():
+        section["note"] = SINGLE_CORE_NOTE
+    return section
+
+
+def bench_monitor(args: argparse.Namespace) -> dict:
+    """Fused vs unfused monitor-in-the-loop pass, bit-checked.
+
+    Streams the flow-accounting workload through
+    ``run_monitor_stream`` twice — the fused single-pass kernel and the
+    legacy per-stage path — asserts the outcomes are bit-identical, and
+    records the fusion speedup.  The bounded (``max_flows``) variant is
+    bit-checked in ``tests/test_pipeline.py``; here the engines run
+    unbounded, where the hash-kernel fast path carries the fusion gain.
+    """
+    from repro.pipeline.executor import run_monitor_stream
+    from repro.sampling import BernoulliSampler
+
+    scale = args.scale if args.quick else max(args.scale, 0.06)
+    generator = TRACES.create("sprint", scale=scale, duration=args.duration)
+    trace = generator.generate(rng=np.random.default_rng(args.seed))
+    chunks = list(
+        iter_expanded_chunks(
+            trace,
+            np.random.default_rng(args.seed),
+            chunk_packets=DEFAULT_CHUNK_PACKETS,
+            clip_to_duration=trace.duration,
+        )
+    )
+    policy = FiveTupleKeyPolicy()
+    encoder = policy.make_encoder()
+    groups = policy.keys_of_batch(
+        trace.src_ips,
+        trace.dst_ips,
+        trace.src_ports,
+        trace.dst_ports,
+        trace.protocols,
+        encoder=encoder,
+    )
+
+    def run(fused: bool):
+        samplers = [
+            BernoulliSampler(rate, rng=np.random.default_rng(args.seed + index))
+            for index, rate in enumerate((0.01, 0.1))
+        ]
+        return run_monitor_stream(iter(chunks), groups, samplers, 60.0, 10, fused=fused)
+
+    # Best of two passes each: the fused/unfused gap is a per-chunk
+    # constant, easily drowned by one cold-cache pass on a single run.
+    unfused_seconds, unfused = _timed(lambda: run(False))
+    fused_seconds, fused = _timed(lambda: run(True))
+    unfused_seconds = min(unfused_seconds, _timed(lambda: run(False))[0])
+    fused_seconds = min(fused_seconds, _timed(lambda: run(True))[0])
+    identical = _outcomes_identical(fused, unfused) and np.array_equal(
+        fused.evictions, unfused.evictions
+    )
+    if not identical:
+        raise SystemExit("FATAL: fused monitor pass diverges from unfused — fusion regression")
+    total_packets = sum(len(chunk) for chunk in chunks)
+    return {
+        "packets": total_packets,
+        "streams": 2,
+        "max_flows": None,
+        "unfused_seconds": round(unfused_seconds, 4),
+        "fused_seconds": round(fused_seconds, 4),
+        "fused_speedup": round(unfused_seconds / fused_seconds, 3) if fused_seconds else None,
         "bit_identical": identical,
     }
 
@@ -374,7 +537,13 @@ def main(argv: list[str] | None = None) -> int:
         "--quick", action="store_true",
         help="tiny workload for CI smoke runs (numbers are not a baseline)",
     )
+    parser.add_argument(
+        "--only", type=str, default=None,
+        help="comma-separated section names to run (e.g. flow_accounting,monitor); "
+        "the others are skipped — used by the CI perf-smoke step",
+    )
     args = parser.parse_args(argv)
+    args.only = None if args.only is None else {name.strip() for name in args.only.split(",")}
     if args.quick:
         args.scale, args.duration, args.runs = 0.002, 120.0, 2
     if args.jobs is None:
@@ -403,53 +572,96 @@ def main(argv: list[str] | None = None) -> int:
         "results": {},
     }
 
-    print(f"expansion   ... ", end="", flush=True)
-    report["results"]["expansion"] = expansion = bench_expansion(args)
-    print(f"{expansion['packets']:,} packets in {expansion['seconds']}s")
+    def wanted(name: str) -> bool:
+        return args.only is None or name in args.only
 
-    print(f"accounting  ... ", end="", flush=True)
-    report["results"]["flow_accounting"] = accounting = bench_flow_accounting(args)
-    print(
-        f"{accounting['packets']:,} packets: object "
-        f"{accounting['object_seconds']}s vs columnar {accounting['columnar_seconds']}s "
-        f"-> {accounting['speedup']}x (bit-identical)"
-    )
+    if wanted("expansion"):
+        print(f"expansion   ... ", end="", flush=True)
+        report["results"]["expansion"] = expansion = bench_expansion(args)
+        print(f"{expansion['packets']:,} packets in {expansion['seconds']}s")
 
-    print(f"sweep       ... ", end="", flush=True)
-    report["results"]["sweep"] = sweep = bench_sweep(args)
-    print(
-        f"serial {sweep['serial_seconds']}s vs {sweep['jobs']}-proc "
-        f"{sweep['parallel_seconds']}s -> speedup {sweep['speedup']}x (bit-identical)"
-    )
-
-    print(f"sweep store ... ", end="", flush=True)
-    report["results"]["sweep_store"] = sweep_store = bench_sweep_store(args)
-    print(
-        f"{sweep_store['cells']} cells: cold {sweep_store['cold_seconds']}s vs "
-        f"warm {sweep_store['warm_seconds']}s -> {sweep_store['warm_speedup']}x "
-        "(warm pass fully cached)"
-    )
-
-    print(f"sweep workers . ", end="", flush=True)
-    report["results"]["sweep_workers"] = sweep_workers = bench_sweep_workers(args)
-    print(
-        f"{sweep_workers['cells']} cells: serial {sweep_workers['serial_seconds']}s vs "
-        f"{sweep_workers['workers']} leased workers {sweep_workers['workers_seconds']}s "
-        f"-> {sweep_workers['speedup']}x (bit-identical)"
-        + (f" [degraded: {sweep_workers['degraded']}]" if sweep_workers["degraded"] else "")
-    )
-
-    print(f"streaming   ... ", end="", flush=True)
-    report["results"]["streaming"] = streaming = bench_streaming(args)
-    print(", ".join(f"{key}={value}s" for key, value in streaming.items()))
-
-    print(f"scenarios   ... ", end="", flush=True)
-    report["results"]["scenarios"] = scenarios = bench_scenarios(args)
-    print(
-        ", ".join(
-            f"{name}={entry['packets_per_second']:,} pkt/s" for name, entry in scenarios.items()
+    if wanted("flow_accounting"):
+        print(f"accounting  ... ", end="", flush=True)
+        report["results"]["flow_accounting"] = accounting = bench_flow_accounting(args)
+        print(
+            f"{accounting['packets']:,} packets: object "
+            f"{accounting['object_seconds']}s vs columnar {accounting['columnar_seconds']}s "
+            f"-> {accounting['speedup']}x, sort {accounting['sort_seconds']}s vs hash "
+            f"{accounting['hash_seconds']}s -> {accounting['hash_speedup']}x (bit-identical)"
         )
-    )
+
+    if wanted("monitor"):
+        print(f"monitor     ... ", end="", flush=True)
+        report["results"]["monitor"] = monitor = bench_monitor(args)
+        print(
+            f"{monitor['packets']:,} packets: unfused {monitor['unfused_seconds']}s vs "
+            f"fused {monitor['fused_seconds']}s -> {monitor['fused_speedup']}x (bit-identical)"
+        )
+
+    if wanted("batch_transport"):
+        print(f"transport   ... ", end="", flush=True)
+        report["results"]["batch_transport"] = transport = bench_batch_transport(args)
+        pickle_part = transport.get("pickle", {})
+        shm_part = transport.get("shm", {})
+        print(
+            f"serial {transport['serial_seconds']}s, "
+            f"pickle {pickle_part.get('seconds', 'n/a')}s, "
+            f"shm {shm_part.get('seconds', shm_part.get('unavailable', 'n/a'))}s"
+            + (
+                f" -> shm {transport['shm_speedup']}x over pickle"
+                if "shm_speedup" in transport
+                else ""
+            )
+            + (f" [{transport['note']}]" if "note" in transport else "")
+        )
+
+    if wanted("sweep"):
+        print(f"sweep       ... ", end="", flush=True)
+        report["results"]["sweep"] = sweep = bench_sweep(args)
+        if _single_core():
+            sweep["note"] = SINGLE_CORE_NOTE
+        print(
+            f"serial {sweep['serial_seconds']}s vs {sweep['jobs']}-proc "
+            f"{sweep['parallel_seconds']}s -> speedup {sweep['speedup']}x (bit-identical)"
+            + (f" [{sweep['note']}]" if "note" in sweep else "")
+        )
+
+    if wanted("sweep_store"):
+        print(f"sweep store ... ", end="", flush=True)
+        report["results"]["sweep_store"] = sweep_store = bench_sweep_store(args)
+        print(
+            f"{sweep_store['cells']} cells: cold {sweep_store['cold_seconds']}s vs "
+            f"warm {sweep_store['warm_seconds']}s -> {sweep_store['warm_speedup']}x "
+            "(warm pass fully cached)"
+        )
+
+    if wanted("sweep_workers"):
+        print(f"sweep workers . ", end="", flush=True)
+        report["results"]["sweep_workers"] = sweep_workers = bench_sweep_workers(args)
+        if _single_core():
+            sweep_workers["note"] = SINGLE_CORE_NOTE
+        print(
+            f"{sweep_workers['cells']} cells: serial {sweep_workers['serial_seconds']}s vs "
+            f"{sweep_workers['workers']} leased workers {sweep_workers['workers_seconds']}s "
+            f"-> {sweep_workers['speedup']}x (bit-identical)"
+            + (f" [degraded: {sweep_workers['degraded']}]" if sweep_workers["degraded"] else "")
+            + (f" [{sweep_workers['note']}]" if "note" in sweep_workers else "")
+        )
+
+    if wanted("streaming"):
+        print(f"streaming   ... ", end="", flush=True)
+        report["results"]["streaming"] = streaming = bench_streaming(args)
+        print(", ".join(f"{key}={value}s" for key, value in streaming.items()))
+
+    if wanted("scenarios"):
+        print(f"scenarios   ... ", end="", flush=True)
+        report["results"]["scenarios"] = scenarios = bench_scenarios(args)
+        print(
+            ", ".join(
+                f"{name}={entry['packets_per_second']:,} pkt/s"
+                for name, entry in scenarios.items()
+            )
+        )
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

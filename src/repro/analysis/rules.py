@@ -602,6 +602,77 @@ class NonAtomicWriteRule(Rule):
                 )
 
 
+#: Modules forming the flow-accounting hot path (rule REP205).  A chunk
+#: of N packets must be accounted in O(N); an ``argsort``/``lexsort``
+#: there silently regresses the hash kernel back to the O(N log N)
+#: reference behaviour.
+_HOT_PATH_MODULES = frozenset({"repro.flows.accounting", "repro.flows.groupby"})
+
+#: Functions implementing the *reference* sort backend — exempt from
+#: REP205 by design: they exist precisely to cross-check the hash
+#: kernel bit-for-bit, so their sorts are the point, not a regression.
+_REFERENCE_BACKEND_FUNCTIONS = frozenset({"sort_group_index", "aggregate_codes"})
+
+#: Call leaf names that perform an O(N log N) sort-based group-by.
+_SORT_CALL_NAMES = frozenset({"argsort", "lexsort"})
+
+
+@register
+class HotPathSortRule(Rule):
+    """REP205: no sort-based group-bys on the flow-accounting hot path."""
+
+    id = "REP205"
+    name = "hot-path-sort"
+    library_only = True
+    requires_reason = True
+    rationale = (
+        "The per-chunk accounting path is the pipeline's throughput "
+        "ceiling and is deliberately O(N) via the hash-accumulator "
+        "kernel; an np.argsort/np.lexsort in repro.flows.accounting or "
+        "repro.flows.groupby (outside the designated reference sort "
+        "backend) silently reintroduces an O(N log N) pass per chunk.  "
+        "Suppressions must say why the sort is not per-packet work."
+    )
+
+    def _enclosing_function(
+        self, call: ast.Call, parents: dict[ast.AST, ast.AST]
+    ) -> str | None:
+        cursor: ast.AST | None = call
+        while cursor is not None:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cursor.name
+            cursor = parents.get(cursor)
+        return None
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.module not in _HOT_PATH_MODULES:
+            return
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(context.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for call in _walk_calls(context.tree):
+            target = dotted_name(call.func)
+            if target is None:
+                continue
+            leaf = target.rsplit(".", 1)[-1]
+            if leaf not in _SORT_CALL_NAMES:
+                continue
+            function = self._enclosing_function(call, parents)
+            if function in _REFERENCE_BACKEND_FUNCTIONS:
+                continue
+            yield self.violation(
+                context,
+                call,
+                f"`{target}` on the flow-accounting hot path is an "
+                "O(N log N) pass per chunk; group with the hash "
+                "accumulator, move the sort into the reference backend "
+                f"({', '.join(sorted(_REFERENCE_BACKEND_FUNCTIONS))}), or "
+                "suppress with a reason explaining why the sorted input "
+                "is not per-packet work",
+            )
+
+
 @register
 class MissingAnnotationsRule(Rule):
     """REP301: the public API carries complete type annotations."""

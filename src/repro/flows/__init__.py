@@ -11,8 +11,15 @@ Two parallel APIs cover the monitor path:
 Both produce bit-identical bins; the columnar path is the fast one.
 """
 
-from .accounting import BinAccount, FlowAccountingEngine, aggregate_codes, bin_segments
+from .accounting import (
+    GROUPBY_BACKENDS,
+    BinAccount,
+    FlowAccountingEngine,
+    aggregate_codes,
+    bin_segments,
+)
 from .classifier import FlowClassifier
+from .groupby import HashAccumulator
 from .keys import (
     PROTO_ICMP,
     PROTO_TCP,
@@ -62,6 +69,8 @@ __all__ = [
     "TABLE_BACKENDS",
     "BinAccount",
     "FlowAccountingEngine",
+    "GROUPBY_BACKENDS",
+    "HashAccumulator",
     "aggregate_codes",
     "bin_segments",
 ]

@@ -13,9 +13,16 @@ over :class:`~repro.flows.packets.PacketBatch` columns:
   :meth:`repro.flows.keys.FlowKeyPolicy.keys_of_batch`), never by
   Python objects;
 * per-flow packet/byte counts and first/last timestamps are group-by
-  aggregations (``argsort`` + ``reduceat``) over whole chunks;
+  reductions performed by one of two interchangeable kernels from
+  :mod:`repro.flows.groupby` — the default hash-accumulator backend
+  (``groupby="hash"``) folds each segment into an open-addressing
+  table in one pass, while the reference sort backend
+  (``groupby="sort"``) keeps the PR-3 ``argsort`` + ``reduceat``
+  group-by; both are bit-identical;
 * measurement bins are closed with a linear boundary pass over the
-  chunk's non-decreasing bin indices (:func:`bin_segments`);
+  chunk's non-decreasing bin indices (:func:`bin_segments`), or — on
+  the hash path with time-sorted chunks — a ``searchsorted`` against
+  the bin edges that avoids materialising per-packet bin indices;
 * the ``max_flows`` bound is honoured *exactly*: a chunk segment that
   cannot overflow the table is folded in vectorised, and only when the
   bound may bind does the engine fall back to an event-driven replay
@@ -43,12 +50,21 @@ from itertools import count
 
 import numpy as np
 
+from .groupby import HashAccumulator, aggregate_codes, sort_group_index
 from .packets import DEFAULT_PACKET_SIZE_BYTES, PacketBatch
 
 #: Rebuild a bounded table's lazy eviction heap when it holds more than
 #: ``_HEAP_SLACK + _HEAP_GROWTH x`` live records (stale-entry cleanup).
 _HEAP_SLACK = 64
 _HEAP_GROWTH = 8
+
+#: Selectable unbounded group-by kernels (see :mod:`repro.flows.groupby`).
+GROUPBY_BACKENDS = ("hash", "sort")
+
+#: Timestamps at or above 2^52 lose the integer resolution the
+#: searchsorted bin-edge fast path relies on; such chunks (never seen
+#: in practice) take the generic per-packet bin-index path instead.
+_FAST_PATH_MAX_TIMESTAMP = float(1 << 52)
 
 
 def bin_segments(bin_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -81,44 +97,6 @@ def bin_segments(bin_indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         indices[starts].astype(np.int64),
         np.append(starts, indices.size).astype(np.int64),
     )
-
-
-def aggregate_codes(
-    codes: np.ndarray,
-    timestamps: np.ndarray,
-    sizes_bytes: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Group-by-code aggregation of one packet segment.
-
-    Parameters
-    ----------
-    codes:
-        Integer key code of every packet.
-    timestamps, sizes_bytes:
-        Matching per-packet columns.
-
-    Returns
-    -------
-    tuple of arrays
-        ``(codes, packets, bytes, first_seen, last_seen)`` with one
-        entry per distinct code, codes sorted ascending.
-    """
-    codes = np.asarray(codes, dtype=np.int64)
-    timestamps = np.asarray(timestamps, dtype=np.float64)
-    sizes = np.asarray(sizes_bytes, dtype=np.int64)
-    if codes.size == 0:
-        empty_i = np.empty(0, dtype=np.int64)
-        empty_f = np.empty(0, dtype=np.float64)
-        return empty_i, empty_i.copy(), empty_i.copy(), empty_f, empty_f.copy()
-    order = np.argsort(codes, kind="stable")
-    sorted_codes = codes[order]
-    starts = np.concatenate(([0], np.flatnonzero(np.diff(sorted_codes)) + 1))
-    unique = sorted_codes[starts]
-    packets = np.diff(np.append(starts, codes.size)).astype(np.int64)
-    byte_sums = np.add.reduceat(sizes[order], starts)
-    first = np.minimum.reduceat(timestamps[order], starts)
-    last = np.maximum.reduceat(timestamps[order], starts)
-    return unique, packets, byte_sums, first, last
 
 
 @dataclass(frozen=True)
@@ -247,6 +225,63 @@ class _UnboundedBin:
         )
 
 
+class _HashBin:
+    """Open-bin accumulator backed by the hash group-by kernel.
+
+    Same contract as :class:`_UnboundedBin`, but every segment folds
+    into a persistent :class:`~repro.flows.groupby.HashAccumulator` in
+    one pass: no per-segment sort and no sorted-union merge between
+    chunks.  ``apply`` additionally accepts ``time_sorted`` so the
+    engine's fast path can enable scatter-store first/last updates.
+    """
+
+    __slots__ = ("_accumulator",)
+
+    def __init__(self) -> None:
+        self._accumulator = HashAccumulator()
+
+    def clear(self) -> None:
+        self._accumulator.clear()
+
+    @property
+    def num_flows(self) -> int:
+        return self._accumulator.num_flows
+
+    def reserve_dense(self, low: int, high: int) -> bool:
+        return self._accumulator.reserve_dense(low, high)
+
+    def apply(
+        self,
+        timestamps: np.ndarray,
+        codes: np.ndarray,
+        sizes: np.ndarray,
+        time_sorted: bool = False,
+        in_bounds: bool = False,
+        const_size: int | None = None,
+    ) -> None:
+        self._accumulator.ingest(
+            timestamps,
+            codes,
+            sizes,
+            time_sorted=time_sorted,
+            in_bounds=in_bounds,
+            const_size=const_size,
+        )
+
+    def account(self, index: int, bin_duration: float) -> BinAccount:
+        codes, packets, byte_sums, first, last = self._accumulator.extract()
+        return BinAccount(
+            index=index,
+            start_time=index * bin_duration,
+            end_time=(index + 1) * bin_duration,
+            codes=codes,
+            packets=packets,
+            bytes=byte_sums,
+            first_seen=first,
+            last_seen=last,
+        )
+
+
 class _BoundedBin:
     """Open-bin accumulator with a ``max_flows`` bound and smallest-flow eviction.
 
@@ -352,11 +387,8 @@ class _BoundedBin:
         applied in one vectorised batch, so the Python-level work is
         proportional to the number of arrivals, not packets.
         """
-        order = np.argsort(codes, kind="stable")
-        sorted_codes = codes[order]
-        starts = np.concatenate(
-            ([0], np.flatnonzero(np.diff(sorted_codes)) + 1, [codes.size])
-        )
+        order, sorted_codes, run_starts = sort_group_index(codes)
+        starts = np.append(run_starts, codes.size)
         positions: dict[int, np.ndarray] = {}
         pointer: dict[int, int] = {}
         arrivals: list[tuple[int, int]] = []
@@ -446,6 +478,13 @@ class FlowAccountingEngine:
         pass :meth:`FlowKeyEncoder.order_key
         <repro.flows.keys.FlowKeyEncoder.order_key>` when codes come
         from an interning encoder.
+    groupby:
+        Group-by kernel for unbounded bins: ``"hash"`` (default) folds
+        each segment into an open-addressing accumulator in one pass,
+        ``"sort"`` keeps the reference ``argsort`` + ``reduceat`` path
+        from PR 3.  Both are bit-identical; engines with a
+        ``max_flows`` bound always use the event-driven bounded table,
+        whose eviction replay is the same under either setting.
 
     Examples
     --------
@@ -464,20 +503,31 @@ class FlowAccountingEngine:
         *,
         max_flows: int | None = None,
         order_key: Callable[[int], object] | None = None,
+        groupby: str = "hash",
     ) -> None:
         if bin_duration <= 0:
             raise ValueError(f"bin_duration must be positive, got {bin_duration}")
         if max_flows is not None and max_flows < 1:
             raise ValueError("max_flows must be at least 1 when given")
+        if groupby not in GROUPBY_BACKENDS:
+            raise ValueError(
+                f"unknown groupby backend {groupby!r}; choose from {GROUPBY_BACKENDS}"
+            )
         self.bin_duration = float(bin_duration)
         self.max_flows = max_flows
+        self.groupby = groupby
         order = order_key if order_key is not None else (lambda code: code)
-        self._open = (
-            _UnboundedBin() if max_flows is None else _BoundedBin(max_flows, order)
-        )
+        self._open: _UnboundedBin | _HashBin | _BoundedBin
+        if max_flows is not None:
+            self._open = _BoundedBin(max_flows, order)
+        elif groupby == "hash":
+            self._open = _HashBin()
+        else:
+            self._open = _UnboundedBin()
         self._current_bin = 0
         self._completed: list[BinAccount] = []
         self._packets_seen = 0
+        self._stream_max_ts = -np.inf
 
     # ------------------------------------------------------------------
     @property
@@ -537,9 +587,14 @@ class FlowAccountingEngine:
                 raise ValueError("sizes_bytes must match the number of packets")
             if np.any(sizes <= 0):
                 raise ValueError("packet sizes must be positive")
+        if isinstance(self._open, _HashBin) and self._observe_fast(ts, code_arr, sizes):
+            self._packets_seen += int(ts.size)
+            return
         bin_indices = np.floor_divide(ts, self.bin_duration).astype(np.int64)
         if int(bin_indices[0]) < self._current_bin or np.any(np.diff(bin_indices) < 0):
             raise ValueError("packets must be observed in non-decreasing time order")
+        if isinstance(self._open, _HashBin):
+            self._stream_max_ts = max(self._stream_max_ts, float(ts.max()))
         bins, bounds = bin_segments(bin_indices)
         for segment in range(bins.size):
             bin_index = int(bins[segment])
@@ -549,6 +604,140 @@ class FlowAccountingEngine:
             lo, hi = int(bounds[segment]), int(bounds[segment + 1])
             self._open.apply(ts[lo:hi], code_arr[lo:hi], sizes[lo:hi])
         self._packets_seen += int(ts.size)
+
+    def _observe_fast(
+        self,
+        ts: np.ndarray,
+        codes: np.ndarray,
+        sizes: np.ndarray,
+        chunk_sorted: bool = False,
+        in_bounds: bool = False,
+        const_size: int | None = None,
+    ) -> bool:
+        """Hash-path chunk observation without per-packet bin indices.
+
+        Applies only to time-sorted chunks that continue a time-sorted
+        stream: measurement-bin boundaries are then located with a
+        ``searchsorted`` against the bin edges (verified exactly
+        against the ``floor_divide`` bin rule at every cut, O(bins)
+        scalar work) and the accumulator can use scatter-store
+        first/last updates.  Returns ``False`` when any precondition
+        fails, in which case the caller runs the generic path — the
+        two produce bit-identical bins.  ``chunk_sorted=True`` asserts
+        the chunk is already known non-decreasing (a
+        :class:`PacketBatch` invariant) and skips re-checking.
+        """
+        open_bin = self._open
+        assert isinstance(open_bin, _HashBin)
+        last_ts = float(ts[-1])
+        if (
+            last_ts >= _FAST_PATH_MAX_TIMESTAMP
+            or float(ts[0]) < self._stream_max_ts
+            or not (chunk_sorted or bool(np.all(ts[1:] >= ts[:-1])))
+        ):
+            return False
+        duration = self.bin_duration
+        first_bin = int(np.floor_divide(ts[0], duration))
+        last_bin = int(np.floor_divide(last_ts, duration))
+        if first_bin < self._current_bin:
+            raise ValueError("packets must be observed in non-decreasing time order")
+        if last_bin - first_bin > ts.size:
+            # More candidate bins than packets (sparse stream, tiny
+            # bins): per-packet indices are cheaper than the edge scan.
+            return False
+        if last_bin == first_bin:
+            bounds = np.array([0, ts.size], dtype=np.int64)
+        else:
+            edges = np.arange(first_bin + 1, last_bin + 1, dtype=np.float64) * duration
+            cuts = np.searchsorted(ts, edges, side="left")
+            bounds = np.concatenate(([0], cuts, [ts.size]))
+            # Verify the cut positions reproduce floor_divide binning
+            # exactly (float bin edges can disagree near a boundary by
+            # an ulp for non-dyadic durations).
+            starts = bounds[:-1]
+            stops = bounds[1:]
+            occupied = np.flatnonzero(stops > starts)
+            seg_bins = first_bin + occupied
+            head = np.floor_divide(ts[starts[occupied]], duration).astype(np.int64)
+            tail = np.floor_divide(ts[stops[occupied] - 1], duration).astype(np.int64)
+            if not (np.array_equal(head, seg_bins) and np.array_equal(tail, seg_bins)):
+                return False
+        self._stream_max_ts = last_ts
+        for segment in range(bounds.size - 1):
+            lo, hi = int(bounds[segment]), int(bounds[segment + 1])
+            if lo == hi:
+                continue
+            bin_index = first_bin + segment
+            if bin_index > self._current_bin:
+                self._close_open()
+                self._current_bin = bin_index
+            open_bin.apply(
+                ts[lo:hi],
+                codes[lo:hi],
+                sizes[lo:hi],
+                time_sorted=True,
+                in_bounds=in_bounds,
+                const_size=const_size,
+            )
+        return True
+
+    def reserve_codes(self, low: int, high: int) -> bool:
+        """Pre-size the hash backend for a known code universe.
+
+        Returns ``True`` when the open bin is hash-backed and its table
+        is identity-addressed covering ``[low, high]`` — the caller may
+        then pass ``in_bounds=True`` to :meth:`observe_sorted_chunk`
+        for codes drawn from that range.  Sort and bounded backends
+        return ``False`` (they have nothing to reserve).
+        """
+        if isinstance(self._open, _HashBin):
+            return self._open.reserve_dense(int(low), int(high))
+        return False
+
+    def observe_sorted_chunk(
+        self,
+        timestamps: np.ndarray,
+        codes: np.ndarray,
+        sizes_bytes: np.ndarray,
+        *,
+        in_bounds: bool = False,
+        const_size: int | None = None,
+    ) -> None:
+        """Trusted columnar observation for pre-validated columns.
+
+        The caller guarantees what :meth:`observe_chunk` would check:
+        ``timestamps`` sorted non-decreasing and non-negative, ``codes``
+        aligned ``int64``, ``sizes_bytes`` aligned and positive.  Chunks
+        from a :class:`PacketBatch` satisfy all of it by construction.
+        Hash-backed engines go straight to the fused fast path;
+        everything else falls back to the validating path (which
+        re-checks, so a broken guarantee degrades to the generic error
+        behaviour rather than silent corruption).
+
+        Parameters
+        ----------
+        timestamps, codes, sizes_bytes:
+            Aligned per-packet columns.
+        in_bounds:
+            Guarantee that every code lies in the dense range last
+            confirmed by :meth:`reserve_codes`.
+        const_size:
+            Guarantee that every size equals this value (``None`` =
+            unknown).
+        """
+        if timestamps.size == 0:
+            return
+        if isinstance(self._open, _HashBin) and self._observe_fast(
+            timestamps,
+            codes,
+            sizes_bytes,
+            chunk_sorted=True,
+            in_bounds=in_bounds,
+            const_size=const_size,
+        ):
+            self._packets_seen += int(timestamps.size)
+            return
+        self.observe_chunk(timestamps, codes, sizes_bytes)
 
     def observe_batch(self, batch: PacketBatch, code_of_flow: np.ndarray) -> None:
         """Account a :class:`PacketBatch` chunk through a flow-id -> code map.
@@ -569,6 +758,29 @@ class FlowAccountingEngine:
         mapping = np.asarray(code_of_flow, dtype=np.int64)
         if len(batch) and int(batch.flow_ids.max()) >= mapping.size:
             raise ValueError("code_of_flow is too short for the flow ids present in the batch")
+        if len(batch) and isinstance(self._open, _HashBin):
+            # Trusted path: PacketBatch construction already validated
+            # sorted non-negative timestamps and positive sizes, so the
+            # fast path can run without revalidation or dtype copies.
+            # The mapping also bounds the whole code universe, so the
+            # accumulator can reserve its dense table once and skip the
+            # per-segment bounds scan, and a constant-size batch (the
+            # paper's fixed packet size) is detected here rather than
+            # per segment.
+            codes = mapping.take(batch.flow_ids)
+            in_bounds = bool(mapping.size) and self.reserve_codes(
+                int(mapping.min()), int(mapping.max())
+            )
+            sizes = batch.sizes_bytes
+            const_size = int(sizes[0]) if bool((sizes == sizes[0]).all()) else None
+            self.observe_sorted_chunk(
+                batch.timestamps,
+                codes,
+                sizes,
+                in_bounds=in_bounds,
+                const_size=const_size,
+            )
+            return
         self.observe_chunk(batch.timestamps, mapping[batch.flow_ids], batch.sizes_bytes)
 
     # ------------------------------------------------------------------
@@ -623,6 +835,7 @@ class FlowAccountingEngine:
 
 
 __all__ = [
+    "GROUPBY_BACKENDS",
     "BinAccount",
     "FlowAccountingEngine",
     "aggregate_codes",

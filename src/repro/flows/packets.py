@@ -91,6 +91,28 @@ class PacketBatch:
         self.flow_ids = ids
         self.sizes_bytes = sizes
 
+    @classmethod
+    def from_trusted_columns(
+        cls,
+        timestamps: np.ndarray,
+        flow_ids: np.ndarray,
+        sizes_bytes: np.ndarray,
+    ) -> "PacketBatch":
+        """Wrap columns that already satisfy every batch invariant.
+
+        For transport endpoints rebuilding a batch that was validated
+        once on the producer side (``float64``/``int64``/``int32``
+        dtypes, sorted non-negative timestamps, positive sizes): the
+        constructor's O(n) checks are skipped, nothing is copied.
+        Feeding unchecked data through this bypass voids the engine
+        fast paths' assumptions — use the constructor instead.
+        """
+        batch = cls.__new__(cls)
+        batch.timestamps = timestamps
+        batch.flow_ids = flow_ids
+        batch.sizes_bytes = sizes_bytes
+        return batch
+
     def __len__(self) -> int:
         return int(self.timestamps.size)
 

@@ -71,12 +71,25 @@ class SampleAndHold:
         return self._evictions
 
     def observe(self, packet: Packet) -> None:
-        """Process one packet."""
+        """Process one packet.
+
+        Exactly one uniform draw is consumed per packet, whether or not
+        the flow is already tracked — the same chunk-invariance
+        treatment as the streaming samplers: feeding a packet sequence
+        through :meth:`observe` one at a time, through
+        :meth:`observe_many` in one call, or through
+        :meth:`observe_many` in arbitrary chunks produces the identical
+        table for the same generator state.
+        """
+        draw = self._rng.random()  # Always one draw per packet (chunk invariance).
         key = self.key_policy.key_of(packet.five_tuple)
+        self._observe_key(key, draw)
+
+    def _observe_key(self, key: object, draw: float) -> None:
         if key in self._counters:
             self._counters[key] += 1
             return
-        if self._rng.random() >= self.sampling_rate:
+        if draw >= self.sampling_rate:
             return
         if self.max_entries is not None and len(self._counters) >= self.max_entries:
             smallest = min(self._counters, key=self._counters.get)
@@ -85,9 +98,45 @@ class SampleAndHold:
         self._counters[key] = 1
 
     def observe_many(self, packets: Iterable[Packet]) -> None:
-        """Process a stream of packets."""
-        for packet in packets:
-            self.observe(packet)
+        """Process a stream of packets with batched admission draws.
+
+        The admission draws are taken as one batched ``random(n)`` call
+        — element for element the same sequence the per-packet path
+        consumes — and the table updates are grouped per flow key: an
+        already-tracked flow gains its whole packet count at once, an
+        untracked flow is admitted at its first in-order admission
+        candidate and counts the packets from there on.  Bit-identical
+        to calling :meth:`observe` per packet, for any chunking.  The
+        grouped path needs the eviction order of full tables, so a
+        bounded table (``max_entries``) falls back to the sequential
+        per-packet updates (draws still batched).
+        """
+        packet_list = packets if isinstance(packets, list) else list(packets)
+        if not packet_list:
+            return
+        keys = [self.key_policy.key_of(packet.five_tuple) for packet in packet_list]
+        draws = self._rng.random(len(keys))
+        if self.max_entries is not None:
+            for key, draw in zip(keys, draws):
+                self._observe_key(key, float(draw))
+            return
+        # Group packet positions by key, preserving stream order within
+        # each group (dict preserves first-seen order; positions are
+        # appended in order).
+        positions_of: dict[object, list[int]] = {}
+        for position, key in enumerate(keys):
+            positions_of.setdefault(key, []).append(position)
+        candidates = draws < self.sampling_rate
+        for key, positions in positions_of.items():
+            if key in self._counters:
+                self._counters[key] += len(positions)
+                continue
+            admitted_at = next(
+                (rank for rank, position in enumerate(positions) if candidates[position]),
+                None,
+            )
+            if admitted_at is not None:
+                self._counters[key] = len(positions) - admitted_at
 
     def counts(self) -> dict[object, int]:
         """Current per-flow packet counts (only counted-after-admission packets).

@@ -55,12 +55,22 @@ class MultistageFilter:
         rng = np.random.default_rng(seed)
         self._salts = rng.integers(1, 2**31 - 1, size=self.depth, dtype=np.int64)
         self._counters = np.zeros((self.depth, self.width), dtype=np.int64)
+        self._rows = np.arange(self.depth)
         self._packets_seen = 0
 
     # ------------------------------------------------------------------
     def _indices(self, key: object) -> np.ndarray:
         base = hash(key) & 0x7FFFFFFFFFFFFFFF
         mixed = (base * self._salts) ^ (base >> 17)
+        return np.abs(mixed) % self.width
+
+    def _index_matrix(self, keys: list[object]) -> np.ndarray:
+        """Counter columns of many keys at once: an ``(n, depth)`` gather index."""
+        bases = np.array(
+            [hash(key) & 0x7FFFFFFFFFFFFFFF for key in keys], dtype=np.int64
+        )
+        with np.errstate(over="ignore"):
+            mixed = (bases[:, None] * self._salts) ^ (bases[:, None] >> 17)
         return np.abs(mixed) % self.width
 
     @property
@@ -71,7 +81,7 @@ class MultistageFilter:
     def observe(self, packet: Packet) -> None:
         """Account one packet with conservative update."""
         key = self.key_policy.key_of(packet.five_tuple)
-        rows = np.arange(self.depth)
+        rows = self._rows
         cols = self._indices(key)
         current = self._counters[rows, cols]
         minimum = current.min()
@@ -81,7 +91,17 @@ class MultistageFilter:
         self._packets_seen += 1
 
     def observe_many(self, packets: Iterable[Packet]) -> None:
-        """Account a stream of packets."""
+        """Account a stream of packets.
+
+        The update loop is deliberately per-packet: conservative update
+        makes every packet's counter increments depend on the counter
+        values its predecessors left behind (two colliding packets
+        observed in either order update *different* counters), so no
+        batched formulation reproduces the sequential sketch
+        bit-identically.  Only the read paths vectorise
+        (:meth:`estimates`); chunking the stream through this method is
+        trivially order-preserving and therefore chunk-invariant.
+        """
         for packet in packets:
             self.observe(packet)
 
@@ -99,16 +119,36 @@ class MultistageFilter:
             The minimum of the flow's counters — an upper bound on the
             true count that is exact for flows without collisions.
         """
-        rows = np.arange(self.depth)
+        rows = self._rows
         cols = self._indices(key)
         return int(self._counters[rows, cols].min())
+
+    def estimates(self, keys: list[object]) -> np.ndarray:
+        """Estimated packet counts of many flows in one vectorised gather.
+
+        Parameters
+        ----------
+        keys:
+            Flow keys under the sketch's key policy.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``int64`` array aligned with ``keys``; entry ``i`` equals
+            ``estimate(keys[i])``.
+        """
+        if not keys:
+            return np.empty(0, dtype=np.int64)
+        cols = self._index_matrix(keys)
+        return self._counters[self._rows[None, :], cols].min(axis=1)
 
     def heavy_hitters(self, candidate_keys: Iterable[object], threshold: int) -> list[tuple[object, int]]:
         """Candidates whose estimated count is at least ``threshold``.
 
         The sketch itself cannot enumerate keys; callers supply the
         candidate set (e.g. the keys seen by a parallel sampled flow
-        table) and the sketch confirms or refutes them.
+        table) and the sketch confirms or refutes them with one
+        vectorised :meth:`estimates` gather.
 
         Parameters
         ----------
@@ -124,11 +164,10 @@ class MultistageFilter:
         """
         if threshold < 1:
             raise ValueError(f"threshold must be at least 1, got {threshold}")
-        results = []
-        for key in candidate_keys:
-            estimate = self.estimate(key)
-            if estimate >= threshold:
-                results.append((key, estimate))
+        keys = list(candidate_keys)
+        values = self.estimates(keys)
+        hits = np.flatnonzero(values >= threshold)
+        results = [(keys[int(index)], int(values[index])) for index in hits]
         results.sort(key=lambda item: -item[1])
         return results
 

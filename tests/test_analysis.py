@@ -155,6 +155,15 @@ RULE_FIXTURES = [
         "        return handle.read()\n",
     ),
     (
+        "hot-path-sort",
+        "import numpy as np\n"
+        "def account_chunk(codes):\n"
+        "    return np.argsort(codes)\n",
+        "import numpy as np\n"
+        "def sort_group_index(codes):\n"
+        "    return np.argsort(codes, kind='stable')\n",
+    ),
+    (
         "missing-annotations",
         "def run(spec):\n    return spec\n",
         "def run(spec: str) -> str:\n    return spec\n",
@@ -173,6 +182,7 @@ RULE_FIXTURES = [
 ]
 
 ANNOTATION_MODULE = "repro.store.fixture"  # inside the typed API + store surface
+HOT_PATH_MODULE = "repro.flows.accounting"  # rule REP205's exact-module scope
 
 #: Rules scoped to a module prefix narrower than the library: their
 #: fixtures must be linted as if they lived under that prefix.
@@ -180,6 +190,8 @@ PREFIX_SCOPED_RULES = ("missing-annotations", "non-atomic-write")
 
 
 def _module_for(rule_name: str) -> str:
+    if rule_name == "hot-path-sort":
+        return HOT_PATH_MODULE
     return ANNOTATION_MODULE if rule_name in PREFIX_SCOPED_RULES else LIB
 
 
@@ -258,6 +270,51 @@ class TestSuppressions:
         )
         findings = lint_source(source, module=LIB)
         assert [v.line for v in findings] == [1]  # line 2 fully suppressed
+
+
+class TestHotPathSort:
+    HOT = "repro.flows.accounting"
+
+    def test_flags_argsort_and_lexsort_in_hot_modules(self):
+        source = (
+            "import numpy as np\n"
+            "def observe(codes, keys):\n"
+            "    a = np.argsort(codes)\n"
+            "    b = np.lexsort(keys)\n"
+            "    return a, b\n"
+        )
+        for module in ("repro.flows.accounting", "repro.flows.groupby"):
+            findings = lint_source(source, module=module, select="hot-path-sort")
+            assert [v.line for v in findings] == [3, 4]
+
+    def test_reference_backend_functions_exempt(self):
+        source = (
+            "import numpy as np\n"
+            "def sort_group_index(codes):\n"
+            "    return np.argsort(codes, kind='stable')\n"
+            "def aggregate_codes(codes):\n"
+            "    return np.lexsort((codes,))\n"
+        )
+        assert lint_source(source, module=self.HOT, select="hot-path-sort") == []
+
+    def test_silent_outside_hot_modules(self):
+        source = "import numpy as np\norder = np.argsort([3, 1, 2])\n"
+        for module in (LIB, "repro.flows.packets", None):
+            assert lint_source(source, module=module, select="hot-path-sort") == []
+
+    def test_suppression_requires_reason(self):
+        bare = (
+            "import numpy as np\n"
+            "order = np.argsort(codes)  # reprolint: disable=hot-path-sort\n"
+        )
+        findings = lint_source(bare, module=self.HOT, select="hot-path-sort")
+        assert [v.rule_name for v in findings] == ["hot-path-sort"]
+        justified = (
+            "import numpy as np\n"
+            "order = np.argsort(uniques)"
+            "  # reprolint: disable=hot-path-sort -- sorts unique flows once per extract\n"
+        )
+        assert lint_source(justified, module=self.HOT, select="hot-path-sort") == []
 
 
 class TestEngine:

@@ -170,3 +170,90 @@ class TestMultistageFilter:
         key = FiveTuple.from_strings("1.1.1.1", "2.2.2.2", 1, 80)
         assert sketch.estimate(key) == 0
         assert sketch.packets_seen == 0
+
+
+def mixed_stream(count: int = 400, seed: int = 3) -> list[Packet]:
+    """An interleaved multi-flow packet stream for invariance tests."""
+    sports = np.random.default_rng(seed).integers(0, 5_000, count) % 37
+    return [
+        Packet(float(i) * 1e-3, FiveTuple.from_strings("1.1.1.1", "2.2.2.2", int(sport), 80))
+        for i, sport in enumerate(sports)
+    ]
+
+
+class TestSampleAndHoldChunkInvariance:
+    """observe / observe_many / chunked observe_many are bit-identical."""
+
+    def test_batch_matches_per_packet(self):
+        stream = mixed_stream()
+        one_by_one = SampleAndHold(0.2, rng=42)
+        for packet in stream:
+            one_by_one.observe(packet)
+        batched = SampleAndHold(0.2, rng=42)
+        batched.observe_many(stream)
+        assert batched.counts() == one_by_one.counts()
+
+    @pytest.mark.parametrize("chunk", [1, 7, 33, 400])
+    def test_any_chunking_matches(self, chunk):
+        stream = mixed_stream()
+        reference = SampleAndHold(0.2, rng=42)
+        reference.observe_many(stream)
+        chunked = SampleAndHold(0.2, rng=42)
+        for low in range(0, len(stream), chunk):
+            chunked.observe_many(stream[low : low + chunk])
+        assert chunked.counts() == reference.counts()
+
+    @pytest.mark.parametrize("chunk", [1, 50, 400])
+    def test_bounded_table_chunk_invariant(self, chunk):
+        stream = mixed_stream()
+        reference = SampleAndHold(0.3, max_entries=5, rng=7)
+        for packet in stream:
+            reference.observe(packet)
+        chunked = SampleAndHold(0.3, max_entries=5, rng=7)
+        for low in range(0, len(stream), chunk):
+            chunked.observe_many(stream[low : low + chunk])
+        assert chunked.counts() == reference.counts()
+        assert chunked.evictions == reference.evictions
+
+    def test_draws_consumed_even_for_tracked_flows(self):
+        # One draw per packet regardless of table state: after observing
+        # n packets the generator must be exactly n draws ahead.
+        stream = mixed_stream(100)
+        sampler = SampleAndHold(1.0, rng=11)
+        sampler.observe_many(stream)
+        shadow = np.random.default_rng(11)
+        shadow.random(100)
+        assert sampler._rng.random() == shadow.random()
+
+    def test_observe_many_empty_is_noop(self):
+        sampler = SampleAndHold(0.5, rng=0)
+        sampler.observe_many([])
+        shadow = np.random.default_rng(0)
+        assert sampler._rng.random() == shadow.random()
+
+
+class TestMultistageFilterVectorisedReads:
+    def test_estimates_matches_scalar_estimate(self):
+        sketch = MultistageFilter(width=64, depth=4, seed=1)
+        stream = mixed_stream()
+        sketch.observe_many(stream)
+        keys = list({sketch.key_policy.key_of(packet.five_tuple) for packet in stream})
+        vectorised = sketch.estimates(keys)
+        assert vectorised.dtype == np.int64
+        assert vectorised.tolist() == [sketch.estimate(key) for key in keys]
+
+    def test_estimates_empty(self):
+        sketch = MultistageFilter(width=16, depth=2)
+        values = sketch.estimates([])
+        assert values.size == 0
+        assert values.dtype == np.int64
+
+    def test_chunked_observe_many_matches_sequential(self):
+        stream = mixed_stream()
+        reference = MultistageFilter(width=64, depth=4, seed=1)
+        for packet in stream:
+            reference.observe(packet)
+        chunked = MultistageFilter(width=64, depth=4, seed=1)
+        for low in range(0, len(stream), 33):
+            chunked.observe_many(stream[low : low + 33])
+        np.testing.assert_array_equal(chunked._counters, reference._counters)

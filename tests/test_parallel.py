@@ -11,6 +11,10 @@ the merge step.
 
 from __future__ import annotations
 
+import os
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -242,3 +246,157 @@ class TestPlanExecuteDirectly:
         np.testing.assert_array_equal(a.detection_values, b.detection_values)
         np.testing.assert_array_equal(a.bin_start_times, b.bin_start_times)
         assert a.total_packets == b.total_packets
+
+
+# ----------------------------------------------------------------------
+# Batch transports
+# ----------------------------------------------------------------------
+def _shm_available() -> bool:
+    from repro.pipeline.parallel import probe_shared_memory
+
+    return probe_shared_memory() is None
+
+
+def _batch(count: int, start: float = 0.0) -> "PacketBatch":
+    from repro.flows.packets import PacketBatch
+
+    timestamps = start + np.linspace(0.0, 1.0, count)
+    flow_ids = np.arange(count, dtype=np.int64) % 7
+    sizes = np.full(count, 500, dtype=np.int32)
+    return PacketBatch(timestamps, flow_ids, sizes)
+
+
+def _consume_one_and_hang(channel, started) -> None:
+    iterator = channel.receive()
+    next(iterator)
+    started.set()
+    time.sleep(300.0)
+
+
+class TestBatchTransports:
+    @pytest.mark.parametrize("transport", ["replay", "pickle", "shm"])
+    def test_each_transport_matches_serial(self, small_trace, transport):
+        if transport == "shm" and not _shm_available():
+            pytest.skip("shared memory unusable in this environment")
+        serial = _sweep_pipeline(small_trace).plan().execute(backend="serial")
+        plan = _sweep_pipeline(small_trace).plan()
+        outcome = plan.execute(backend="process", jobs=2, transport=transport)
+        np.testing.assert_array_equal(serial.ranking_values, outcome.ranking_values)
+        np.testing.assert_array_equal(serial.detection_values, outcome.detection_values)
+        np.testing.assert_array_equal(serial.bin_start_times, outcome.bin_start_times)
+        assert serial.total_packets == outcome.total_packets
+        assert plan.transport_used == transport
+
+    def test_auto_transport_records_its_choice(self, small_trace):
+        plan = _sweep_pipeline(small_trace).plan()
+        plan.execute(backend="process", jobs=2, transport="auto")
+        if _shm_available():
+            assert plan.transport_used == "shm"
+            assert plan.fallback_reason is None
+        else:
+            assert plan.transport_used == "pickle"
+            assert "fell back to pickle" in plan.fallback_reason
+
+    def test_auto_degrades_to_pickle_for_unbounded_chunks(self, small_trace):
+        plan = _sweep_pipeline(small_trace).materialised().plan()
+        transport, reason = plan.resolve_transport("auto")
+        assert transport == "pickle"
+        assert "unbounded chunks" in reason
+
+    def test_serial_backend_records_no_transport(self, small_trace):
+        plan = _sweep_pipeline(small_trace).plan()
+        plan.execute(backend="serial")
+        assert plan.transport_used is None
+
+    def test_unknown_transport_rejected(self, small_trace):
+        plan = _sweep_pipeline(small_trace).plan()
+        with pytest.raises(ValueError, match="unknown transport"):
+            plan.execute(backend="process", jobs=2, transport="carrier-pigeon")
+
+    def test_explicit_shm_raises_when_unusable(self, small_trace, monkeypatch):
+        from repro.pipeline import parallel as parallel_module
+
+        monkeypatch.setattr(
+            parallel_module, "probe_shared_memory", lambda: "no /dev/shm in sandbox"
+        )
+        plan = _sweep_pipeline(small_trace).plan()
+        with pytest.raises(ValueError, match="no /dev/shm in sandbox"):
+            plan.execute(backend="process", jobs=2, transport="shm")
+
+
+@pytest.mark.skipif(not _shm_available(), reason="shared memory unusable")
+class TestSharedMemoryChannel:
+    def _channel(self, capacity=1024, slots=2):
+        from repro.pipeline.parallel import SharedMemoryBatchChannel
+
+        return SharedMemoryBatchChannel(capacity, slots=slots)
+
+    @staticmethod
+    def _segment_paths(channel):
+        return [f"/dev/shm/{name}" for name in channel.segment_names]
+
+    def test_in_process_round_trip(self):
+        channel = self._channel()
+        sent = [_batch(100), _batch(1024, start=2.0), _batch(1, start=4.0)]
+        try:
+            for batch in sent[:2]:
+                channel.send(batch)
+            received = channel.receive()
+            first = next(received)
+            channel.send(sent[2])
+            channel.close_sending()
+            batches = [first, *received]
+        finally:
+            channel.unlink()
+        assert len(batches) == 3
+        for got, want in zip(batches, sent):
+            np.testing.assert_array_equal(got.timestamps, want.timestamps)
+            np.testing.assert_array_equal(got.flow_ids, want.flow_ids)
+            np.testing.assert_array_equal(got.sizes_bytes, want.sizes_bytes)
+
+    def test_oversized_batch_rejected(self):
+        channel = self._channel(capacity=8)
+        try:
+            with pytest.raises(ValueError, match="exceeds channel capacity"):
+                channel.send(_batch(9))
+        finally:
+            channel.unlink()
+
+    def test_send_times_out_when_consumer_stalls(self):
+        channel = self._channel(slots=1)
+        try:
+            channel.send(_batch(4))
+            with pytest.raises(TimeoutError, match="stopped draining"):
+                channel.send(_batch(4), timeout=0.05)
+        finally:
+            channel.unlink()
+
+    def test_unlink_is_idempotent_and_releases_segments(self):
+        channel = self._channel()
+        paths = self._segment_paths(channel)
+        assert all(os.path.exists(path) for path in paths)
+        channel.unlink()
+        channel.unlink()
+        assert not any(os.path.exists(path) for path in paths)
+
+    def test_sigkilled_worker_mid_transfer_leaks_nothing(self):
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        channel = self._channel()
+        paths = self._segment_paths(channel)
+        started = context.Event()
+        worker = context.Process(
+            target=_consume_one_and_hang, args=(channel, started), daemon=True
+        )
+        worker.start()
+        try:
+            channel.send(_batch(64))
+            channel.send(_batch(64, start=2.0))  # in flight when the worker dies
+            assert started.wait(timeout=30.0)
+            os.kill(worker.pid, signal.SIGKILL)
+            worker.join(timeout=30.0)
+            assert not worker.is_alive()
+        finally:
+            channel.unlink()
+        assert not any(os.path.exists(path) for path in paths)

@@ -471,3 +471,62 @@ class TestMonitorMode:
         assert bounded.series("ranking", 0.5).overall_mean >= (
             unbounded.series("ranking", 0.5).overall_mean
         )
+
+
+class TestFusedMonitorPass:
+    """The fused sample+account pass is bit-identical to the staged one."""
+
+    def _workload(self, trace, chunk_packets=2048, seed=3):
+        from repro.flows.keys import FiveTupleKeyPolicy
+        from repro.pipeline.executor import iter_expanded_chunks
+
+        chunks = list(
+            iter_expanded_chunks(
+                trace,
+                np.random.default_rng(seed),
+                chunk_packets=chunk_packets,
+                clip_to_duration=trace.duration,
+            )
+        )
+        policy = FiveTupleKeyPolicy()
+        groups = policy.keys_of_batch(
+            trace.src_ips,
+            trace.dst_ips,
+            trace.src_ports,
+            trace.dst_ports,
+            trace.protocols,
+            encoder=policy.make_encoder(),
+        )
+        return chunks, groups
+
+    def _run(self, chunks, groups, fused, max_flows, seed=11):
+        from repro.pipeline.executor import run_monitor_stream
+        from repro.sampling import SampleAndHoldSampler
+
+        samplers = [
+            BernoulliSampler(0.2, rng=np.random.default_rng(seed)),
+            SampleAndHoldSampler(0.05, rng=np.random.default_rng(seed + 1)),
+        ]
+        return run_monitor_stream(
+            iter(chunks), groups, samplers, 60.0, 5, max_flows=max_flows, fused=fused
+        )
+
+    @pytest.mark.parametrize("max_flows", [None, 3])
+    def test_fused_matches_unfused(self, small_trace, max_flows):
+        chunks, groups = self._workload(small_trace)
+        fused = self._run(chunks, groups, True, max_flows)
+        unfused = self._run(chunks, groups, False, max_flows)
+        np.testing.assert_array_equal(fused.bin_start_times, unfused.bin_start_times)
+        np.testing.assert_array_equal(fused.ranking_values, unfused.ranking_values)
+        np.testing.assert_array_equal(fused.detection_values, unfused.detection_values)
+        np.testing.assert_array_equal(fused.evictions, unfused.evictions)
+        assert fused.flows_per_bin == unfused.flows_per_bin
+        assert fused.total_packets == unfused.total_packets
+
+    def test_fused_is_chunk_size_invariant(self, small_trace):
+        coarse_chunks, groups = self._workload(small_trace, chunk_packets=8192)
+        fine_chunks, _ = self._workload(small_trace, chunk_packets=512)
+        coarse = self._run(coarse_chunks, groups, True, 3)
+        fine = self._run(fine_chunks, groups, True, 3)
+        np.testing.assert_array_equal(coarse.ranking_values, fine.ranking_values)
+        np.testing.assert_array_equal(coarse.evictions, fine.evictions)
