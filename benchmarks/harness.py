@@ -74,17 +74,76 @@ def _timed(func):
     return time.perf_counter() - start, value
 
 
-def bench_expansion(args: argparse.Namespace) -> dict:
-    """Throughput of the chunked packet expansion alone."""
-    plan = _pipeline(args).plan()
+def _assert_streams_identical(source, rng_seed: int, chunk_packets, label: str) -> None:
+    """One untimed lockstep pass: fast chunks must equal reference chunks."""
+    from itertools import zip_longest
+
+    from repro.traces.source import use_assembly
+
+    with use_assembly("fast"):
+        fast = source.iter_chunks(np.random.default_rng(rng_seed), chunk_packets)
+        with use_assembly("reference"):
+            reference = source.iter_chunks(np.random.default_rng(rng_seed), chunk_packets)
+            for fast_chunk, ref_chunk in zip_longest(fast, reference):
+                if fast_chunk is None or ref_chunk is None:
+                    raise SystemExit(
+                        f"FATAL: {label} fast assembly emits a different chunk count "
+                        "— assembly regression"
+                    )
+                for column in ("timestamps", "flow_ids", "sizes_bytes"):
+                    left = getattr(fast_chunk, column)
+                    right = getattr(ref_chunk, column)
+                    if left.dtype != right.dtype or not np.array_equal(left, right):
+                        raise SystemExit(
+                            f"FATAL: {label} fast assembly diverges from the reference "
+                            f"on {column} — assembly regression"
+                        )
+
+
+def _timed_source_pass(source, rng_seed: int, chunk_packets, backend: str) -> tuple[float, int]:
+    from repro.traces.source import use_assembly
+
     def consume() -> int:
-        chunks = plan.source.iter_chunks(plan._expand_rng(), chunk_packets=plan.chunk_packets)
-        return sum(len(chunk) for chunk in chunks)
-    seconds, packets = _timed(consume)
+        with use_assembly(backend):
+            chunks = source.iter_chunks(np.random.default_rng(rng_seed), chunk_packets)
+            return sum(len(chunk) for chunk in chunks)
+
+    # Best of two passes: at smoke scales a single pass is scheduling
+    # noise, and the CI gate asserts on the recorded ratio.
+    first_seconds, packets = _timed(consume)
+    second_seconds, _ = _timed(consume)
+    return min(first_seconds, second_seconds), packets
+
+
+def bench_expansion(args: argparse.Namespace) -> dict:
+    """Throughput of the chunked packet expansion alone, fast vs reference.
+
+    Times one full pass per assembly backend and, before recording
+    anything, replays both streams in lockstep asserting every chunk is
+    bit-identical — a divergence fails the harness rather than
+    polluting the baseline.  The legacy ``seconds``/``packets_per_second``
+    keys record the fast (default) backend so the trajectory stays
+    comparable across PRs.
+    """
+    plan = _pipeline(args).plan()
+    _assert_streams_identical(plan.source, args.seed, plan.chunk_packets, "expansion")
+    reference_seconds, packets = _timed_source_pass(
+        plan.source, args.seed, plan.chunk_packets, "reference"
+    )
+    seconds, fast_packets = _timed_source_pass(
+        plan.source, args.seed, plan.chunk_packets, "fast"
+    )
+    assert fast_packets == packets
     return {
         "seconds": round(seconds, 4),
         "packets": packets,
         "packets_per_second": round(packets / seconds) if seconds else None,
+        "reference_seconds": round(reference_seconds, 4),
+        "reference_packets_per_second": round(packets / reference_seconds)
+        if reference_seconds
+        else None,
+        "assembly_speedup": round(reference_seconds / seconds, 2) if seconds else None,
+        "bit_identical": True,
     }
 
 
@@ -93,7 +152,10 @@ def bench_scenarios(args: argparse.Namespace) -> dict:
 
     Builds each scenario at the harness scale and times one full pass
     over its chunked stream — the cost of the source layer alone
-    (expansion + merge + transforms), before any sampling.
+    (expansion + merge + transforms), before any sampling — under both
+    assembly backends, after asserting the two streams are
+    bit-identical chunk for chunk.  Legacy keys record the fast
+    (default) backend.
     """
     from repro.scenarios import SCENARIOS
 
@@ -103,16 +165,21 @@ def bench_scenarios(args: argparse.Namespace) -> dict:
             name, scale=args.scale, duration=args.duration,
             rng=np.random.default_rng(args.seed),
         )
-        def consume() -> int:
-            chunks = source.iter_chunks(
-                np.random.default_rng(args.seed), chunk_packets=DEFAULT_CHUNK_PACKETS
-            )
-            return sum(len(chunk) for chunk in chunks)
-        seconds, packets = _timed(consume)
+        _assert_streams_identical(source, args.seed, DEFAULT_CHUNK_PACKETS, f"scenario {name}")
+        reference_seconds, packets = _timed_source_pass(
+            source, args.seed, DEFAULT_CHUNK_PACKETS, "reference"
+        )
+        seconds, _ = _timed_source_pass(source, args.seed, DEFAULT_CHUNK_PACKETS, "fast")
         results[name] = {
             "packets": packets,
             "seconds": round(seconds, 4),
             "packets_per_second": round(packets / seconds) if seconds else None,
+            "reference_seconds": round(reference_seconds, 4),
+            "reference_packets_per_second": round(packets / reference_seconds)
+            if reference_seconds
+            else None,
+            "assembly_speedup": round(reference_seconds / seconds, 2) if seconds else None,
+            "bit_identical": True,
         }
     return results
 
@@ -398,6 +465,56 @@ def bench_monitor(args: argparse.Namespace) -> dict:
     }
 
 
+def bench_end_to_end(args: argparse.Namespace) -> dict:
+    """End-to-end pipeline throughput: source -> samplers -> accounting.
+
+    Streams a live expanded sprint trace (generation inside the timed
+    loop — no pre-materialised chunk list) through two Bernoulli
+    samplers and the fused monitor accounting pass, and records one
+    honest pkt/s number for the whole data path.  This is the number
+    the ROADMAP's "native-speed hot path" item is measured against: it
+    includes packet generation, so it is bounded by the slower of the
+    source layer and the accounting engine.
+    """
+    from repro.pipeline.executor import run_monitor_stream
+    from repro.sampling import BernoulliSampler
+    from repro.traces.source import FlowTraceSource
+
+    generator = TRACES.create("sprint", scale=args.scale, duration=args.duration)
+    trace = generator.generate(rng=np.random.default_rng(args.seed))
+    source = FlowTraceSource(trace)
+    groups = source.group_ids(FiveTupleKeyPolicy())
+    total_packets = 0
+
+    def run():
+        nonlocal total_packets
+        total_packets = 0
+
+        def stream():
+            nonlocal total_packets
+            for chunk in source.iter_chunks(
+                np.random.default_rng(args.seed), DEFAULT_CHUNK_PACKETS
+            ):
+                total_packets += len(chunk)
+                yield chunk
+
+        samplers = [
+            BernoulliSampler(rate, rng=np.random.default_rng(args.seed + index))
+            for index, rate in enumerate((0.01, 0.1))
+        ]
+        return run_monitor_stream(stream(), groups, samplers, 60.0, 10, fused=True)
+
+    seconds, _ = _timed(run)
+    return {
+        "packets": total_packets,
+        "streams": 2,
+        "seconds": round(seconds, 4),
+        "packets_per_second": round(total_packets / seconds) if seconds else None,
+        "note": "single-threaded full data path (generation + sampling + accounting); "
+        "see docs/traces.md for what this number does and does not claim",
+    }
+
+
 def bench_sweep_store(args: argparse.Namespace) -> dict:
     """Cold vs warm store-backed sweep (repro.sweep over repro.store).
 
@@ -521,9 +638,18 @@ def bench_streaming(args: argparse.Namespace) -> dict:
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--scale", type=float, default=0.05, help="fraction of backbone flow rate")
-    parser.add_argument("--duration", type=float, default=900.0, help="trace duration in seconds")
-    parser.add_argument("--runs", type=int, default=10, help="sampling runs per rate")
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="fraction of backbone flow rate (default 0.05; 0.002 with --quick)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None,
+        help="trace duration in seconds (default 900; 120 with --quick)",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=None,
+        help="sampling runs per rate (default 10; 2 with --quick)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
         "--jobs", type=int, default=None,
@@ -544,8 +670,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     args.only = None if args.only is None else {name.strip() for name in args.only.split(",")}
-    if args.quick:
-        args.scale, args.duration, args.runs = 0.002, 120.0, 2
+    # Explicit flags win over the --quick presets, so CI can shrink or
+    # grow individual sections (e.g. a larger source workload for the
+    # assembly-speedup gate) while staying in quick mode.
+    quick_defaults = (0.002, 120.0, 2) if args.quick else (0.05, 900.0, 10)
+    if args.scale is None:
+        args.scale = quick_defaults[0]
+    if args.duration is None:
+        args.duration = quick_defaults[1]
+    if args.runs is None:
+        args.runs = quick_defaults[2]
     if args.jobs is None:
         args.jobs = os.cpu_count() or 1
 
@@ -578,7 +712,11 @@ def main(argv: list[str] | None = None) -> int:
     if wanted("expansion"):
         print(f"expansion   ... ", end="", flush=True)
         report["results"]["expansion"] = expansion = bench_expansion(args)
-        print(f"{expansion['packets']:,} packets in {expansion['seconds']}s")
+        print(
+            f"{expansion['packets']:,} packets in {expansion['seconds']}s "
+            f"(reference {expansion['reference_seconds']}s -> "
+            f"{expansion['assembly_speedup']}x, bit-identical)"
+        )
 
     if wanted("flow_accounting"):
         print(f"accounting  ... ", end="", flush=True)
@@ -596,6 +734,14 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"{monitor['packets']:,} packets: unfused {monitor['unfused_seconds']}s vs "
             f"fused {monitor['fused_seconds']}s -> {monitor['fused_speedup']}x (bit-identical)"
+        )
+
+    if wanted("end_to_end"):
+        print(f"end to end  ... ", end="", flush=True)
+        report["results"]["end_to_end"] = end_to_end = bench_end_to_end(args)
+        print(
+            f"{end_to_end['packets']:,} packets through source+samplers+accounting in "
+            f"{end_to_end['seconds']}s -> {end_to_end['packets_per_second']:,} pkt/s"
         )
 
     if wanted("batch_transport"):
@@ -658,7 +804,8 @@ def main(argv: list[str] | None = None) -> int:
         report["results"]["scenarios"] = scenarios = bench_scenarios(args)
         print(
             ", ".join(
-                f"{name}={entry['packets_per_second']:,} pkt/s"
+                f"{name}={entry['packets_per_second']:,} pkt/s "
+                f"({entry['assembly_speedup']}x)"
                 for name, entry in scenarios.items()
             )
         )

@@ -58,7 +58,7 @@ Quickstart
 5
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from . import analysis
 from .core import (

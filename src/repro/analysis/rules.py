@@ -673,6 +673,70 @@ class HotPathSortRule(Rule):
             )
 
 
+#: Module whose chunk loops must grow pending packets through the
+#: :class:`repro.traces.buffers.ChunkBuffer`/``RunQueue`` primitives
+#: (rule REP206) instead of re-concatenating arrays every chunk.
+_SOURCE_HOT_MODULES = frozenset({"repro.traces.source"})
+
+#: Calls that reallocate-and-copy the full pending state.  ``append``
+#: is only the numpy one — ``list.append`` is amortised O(1) and fine.
+_CONCAT_LEAF_NAMES = frozenset({"concatenate"})
+_CONCAT_FULL_NAMES = frozenset({"np.append", "numpy.append"})
+
+
+@register
+class SourceHotConcatRule(Rule):
+    """REP206: no concatenate-growth in source chunk loops."""
+
+    id = "REP206"
+    name = "source-hot-concat"
+    library_only = True
+    requires_reason = True
+    rationale = (
+        "Packet sources are the pipeline's generation ceiling; an "
+        "np.concatenate/np.append inside a chunk loop of "
+        "repro.traces.source copies the entire pending state on every "
+        "chunk, turning O(N) streaming into O(N^2/chunk) churn.  Grow "
+        "pending packets through repro.traces.buffers (ChunkBuffer "
+        "amortised appends, RunQueue zero-copy runs) instead.  "
+        "Suppressions must say why the copy is not per-chunk work "
+        "(e.g. the retained bit-checked reference path)."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.module not in _SOURCE_HOT_MODULES:
+            return
+        parents: dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(context.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        for call in _walk_calls(context.tree):
+            target = dotted_name(call.func)
+            if target is None:
+                continue
+            leaf = target.rsplit(".", 1)[-1]
+            if leaf not in _CONCAT_LEAF_NAMES and target not in _CONCAT_FULL_NAMES:
+                continue
+            in_loop = False
+            cursor: ast.AST | None = parents.get(call)
+            while cursor is not None:
+                if isinstance(cursor, (ast.For, ast.AsyncFor, ast.While)):
+                    in_loop = True
+                    break
+                cursor = parents.get(cursor)
+            if not in_loop:
+                continue
+            yield self.violation(
+                context,
+                call,
+                f"`{target}` inside a chunk loop copies the whole pending "
+                "state every iteration; grow through "
+                "repro.traces.buffers (ChunkBuffer/RunQueue) or suppress "
+                "with a reason explaining why the copy is not per-chunk "
+                "work",
+            )
+
+
 @register
 class MissingAnnotationsRule(Rule):
     """REP301: the public API carries complete type annotations."""
@@ -748,10 +812,12 @@ __all__ = [
     "CacheKeyPurityRule",
     "FloatEqualityRule",
     "GlobalRngRule",
+    "HotPathSortRule",
     "MissingAnnotationsRule",
     "MutableDefaultRule",
     "NonAtomicWriteRule",
     "RegistrySpecRule",
+    "SourceHotConcatRule",
     "UnorderedIterationRule",
     "UnpicklablePlanRule",
     "WallClockRule",

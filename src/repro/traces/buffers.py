@@ -1,0 +1,345 @@
+"""Amortised chunk-assembly primitives for the streaming sources.
+
+The streaming sources in :mod:`repro.traces.source` historically grew
+their pending-packet state with ``np.concatenate`` per chunk and
+re-sorted it from scratch with a full stable ``np.argsort`` — O(n)
+fresh allocations plus an O(n log n) comparison sort per emitted chunk,
+which capped packet *generation* near 5M pkt/s while the accounting
+engine downstream runs at ~38M pkt/s.  This module provides the
+primitives the fast assembly backend is built from:
+
+* :class:`ChunkBuffer` — a growable columnar pending store (timestamps,
+  flow ids, optional sizes) with amortised doubling appends and an O(1)
+  consume-from-the-front cursor, replacing per-chunk concatenate churn.
+  The buffer is internal state that is never handed out as an emitted
+  chunk, so compaction and growth can safely reuse its backing arrays.
+* :func:`stable_order` — a drop-in replacement for
+  ``np.argsort(values, kind="stable")`` built on the (~5x faster on
+  random float64 data) default introsort plus an exact tie fix-up:
+  within every maximal run of equal values the permutation indices are
+  sorted, which restores precisely the original-index order a stable
+  sort guarantees.  Use it where the data is *random-dominated* (fresh
+  packet placements).
+* :func:`merge_sorted_runs` — an exact k-way merge of already-sorted
+  runs, with ties resolved run-order-first (earlier run wins).  Use it
+  where the data is *run-structured* (per-source pending cuts).
+
+A measured note on :func:`merge_sorted_runs`: the obvious "clever"
+implementation — splicing runs pairwise through ``np.searchsorted``
+rank arithmetic — was benchmarked against concatenating the runs and
+stable-argsorting, and lost in every regime (two equal 262k runs:
+26ms spliced vs 14ms timsort; a 500-element run into 262k: 4.0ms vs
+1.9ms).  NumPy's stable sort is timsort, whose run detection and
+galloping merges make it a near-linear multi-run merge exactly when
+the input is a concatenation of sorted runs — so the concat+argsort
+shape *is* the fast path here, and the win over the reference backend
+comes from sorting only random-dominated blocks with
+:func:`stable_order`, amortising buffer growth, and emitting zero-copy
+trusted chunks.  Keep the receipts in mind before "optimising" this
+back.
+
+>>> import numpy as np
+>>> ts = np.array([3.0, 1.0, 3.0, 2.0])
+>>> list(stable_order(ts)) == list(np.argsort(ts, kind="stable"))
+True
+>>> merged = merge_sorted_runs([
+...     (np.array([1.0, 3.0]), np.array([10, 11]), None),
+...     (np.array([1.0, 2.0]), np.array([20, 21]), None),
+... ])
+>>> merged[0].tolist(), merged[1].tolist()
+([1.0, 1.0, 2.0, 3.0], [10, 20, 21, 11])
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: One sorted run: ``(timestamps, flow_ids, sizes_bytes or None)``.
+SortedRun = tuple[np.ndarray, np.ndarray, "np.ndarray | None"]
+
+#: Initial per-column capacity of a freshly grown :class:`ChunkBuffer`.
+_MIN_CAPACITY = 1024
+
+
+def stable_order(values: np.ndarray) -> np.ndarray:
+    """Exact stable argsort of a 1-D float array, without the stable-sort tax.
+
+    ``np.argsort(kind="stable")`` on ``float64`` is a comparison
+    timsort — superb on run-structured data, ~5x slower than the
+    default introsort on random data.  For random-dominated inputs this
+    computes the unstable argsort and then repairs tie order: in the
+    sorted output, every maximal run of equal values is located and the
+    permutation indices inside the run are sorted ascending — which is
+    exactly the original-index order a stable sort yields.  The result
+    is bit-identical to the stable argsort for any input without NaNs.
+
+    >>> import numpy as np
+    >>> values = np.array([2.0, 1.0, 2.0, 1.0, 2.0])
+    >>> np.array_equal(stable_order(values), np.argsort(values, kind="stable"))
+    True
+    """
+    order = np.argsort(values)
+    if order.size < 2:
+        return order
+    ordered = values[order]
+    ties = np.flatnonzero(ordered[1:] == ordered[:-1])
+    if ties.size:
+        gaps = np.diff(ties) > 1
+        run_starts = ties[np.concatenate(([True], gaps))]
+        run_ends = ties[np.concatenate((gaps, [True]))] + 2
+        for start, end in zip(run_starts, run_ends):
+            order[start:end].sort()
+    return order
+
+
+def merge_sorted_runs(runs: list[SortedRun]) -> SortedRun:
+    """Merge sorted runs into one sorted run, earlier runs winning ties.
+
+    Semantically: concatenate the runs in order and stable-sort by
+    timestamp — which is also the implementation, because NumPy's
+    stable sort (timsort) detects the pre-sorted runs and galloping-
+    merges them in near-linear time; see the module docstring for the
+    measurements against explicit ``searchsorted`` splicing.  The
+    returned columns are freshly allocated, so callers may emit
+    zero-copy views into them; a single input run is copied for the
+    same reason.  Sizes are carried iff every run carries them.
+
+    >>> import numpy as np
+    >>> ts, ids, _ = merge_sorted_runs([
+    ...     (np.array([0.0, 2.0]), np.array([1, 1]), None),
+    ...     (np.array([0.0, 1.0]), np.array([2, 2]), None),
+    ... ])
+    >>> ts.tolist(), ids.tolist()
+    ([0.0, 0.0, 1.0, 2.0], [1, 2, 2, 1])
+    """
+    if not runs:
+        raise ValueError("merge_sorted_runs needs at least one run")
+    with_sizes = all(run[2] is not None for run in runs)
+    if len(runs) == 1:
+        ts, ids, sizes = runs[0]
+        return ts.copy(), ids.copy(), sizes.copy() if with_sizes and sizes is not None else None
+    ts = np.concatenate([run[0] for run in runs])
+    ids = np.concatenate([run[1] for run in runs])
+    order = np.argsort(ts, kind="stable")
+    if with_sizes:
+        sizes = np.concatenate([np.asarray(run[2]) for run in runs])
+        return ts[order], ids[order], sizes[order]
+    return ts[order], ids[order], None
+
+
+class RunQueue:
+    """FIFO of sorted runs forming one part's pending stream, zero-copy.
+
+    Used by the merge fast path: each loaded chunk is enqueued as a
+    run of *views* (no copy — inner sources emit freshly allocated or
+    immutable columns), and :meth:`cut_below` slices off everything
+    strictly below a bound as a list of runs ready for
+    :func:`merge_sorted_runs`.  Runs are non-overlapping and in time
+    order (chunks of one source are), so the cut walks whole runs and
+    splits at most one.
+
+    >>> import numpy as np
+    >>> queue = RunQueue()
+    >>> queue.append((np.array([1.0, 2.0]), np.array([1, 2]), None))
+    >>> queue.append((np.array([2.0, 3.0]), np.array([3, 4]), None))
+    >>> [run[0].tolist() for run in queue.cut_below(2.0)]
+    [[1.0]]
+    >>> queue.last_time()
+    3.0
+    """
+
+    __slots__ = ("_runs",)
+
+    def __init__(self) -> None:
+        self._runs: list[SortedRun] = []
+
+    def __bool__(self) -> bool:
+        return bool(self._runs)
+
+    def append(self, run: SortedRun) -> None:
+        """Enqueue a non-empty sorted run (views are fine; never copied)."""
+        if run[0].size:
+            self._runs.append(run)
+
+    def last_time(self) -> float:
+        """Timestamp of the last pending packet (queue must be non-empty)."""
+        return float(self._runs[-1][0][-1])
+
+    def cut_below(self, bound: float) -> list[SortedRun]:
+        """Detach and return every pending packet strictly below ``bound``.
+
+        The returned runs preserve arrival (load) order, so merging
+        them with earlier parts' runs first reproduces the reference
+        tie order exactly.
+        """
+        out: list[SortedRun] = []
+        for position, (ts, ids, sizes) in enumerate(self._runs):
+            if ts[0] >= bound:
+                # This and every later run sit at/after the bound.
+                self._runs = self._runs[position:]
+                return out
+            if ts[-1] < bound:
+                out.append((ts, ids, sizes))
+                continue
+            cut = int(np.searchsorted(ts, bound, side="left"))
+            out.append((ts[:cut], ids[:cut], None if sizes is None else sizes[:cut]))
+            remainder: SortedRun = (ts[cut:], ids[cut:], None if sizes is None else sizes[cut:])
+            self._runs = [remainder, *self._runs[position + 1 :]]
+            return out
+        self._runs = []
+        return out
+
+
+class ChunkBuffer:
+    """Growable columnar store for a source's pending (unemitted) packets.
+
+    Columns are ``timestamps`` (float64), ``flow_ids`` (int64) and,
+    when ``with_sizes`` is set, ``sizes_bytes`` (int32).  Appends are
+    amortised O(1) per element (capacity doubles; the live region is
+    compacted to the front when it helps), and :meth:`consume` advances
+    a head cursor without touching data.
+
+    The buffer's backing arrays are *reused* across appends and
+    compactions, so nothing obtained from :attr:`timestamps` /
+    :attr:`flow_ids` / :attr:`sizes_bytes` may be emitted or retained
+    beyond the next mutating call — the fast assembly paths only ever
+    read the views while gathering into freshly allocated output
+    arrays.
+
+    >>> import numpy as np
+    >>> buf = ChunkBuffer()
+    >>> buf.append(np.array([1.0, 2.0]), np.array([7, 8]))
+    >>> buf.consume(1)
+    >>> buf.append(np.array([3.0]), np.array([0]), id_offset=9)
+    >>> buf.timestamps.tolist(), buf.flow_ids.tolist()
+    ([2.0, 3.0], [8, 9])
+    """
+
+    __slots__ = ("_ts", "_ids", "_sizes", "_lo", "_hi")
+
+    def __init__(self, with_sizes: bool = False, capacity: int = 0) -> None:
+        capacity = max(int(capacity), 0)
+        self._ts = np.empty(capacity, dtype=np.float64)
+        self._ids = np.empty(capacity, dtype=np.int64)
+        self._sizes: np.ndarray | None = (
+            np.empty(capacity, dtype=np.int32) if with_sizes else None
+        )
+        self._lo = 0
+        self._hi = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of live (appended, not yet consumed) packets."""
+        return self._hi - self._lo
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        """View of the live timestamps (valid until the next mutation)."""
+        return self._ts[self._lo : self._hi]
+
+    @property
+    def flow_ids(self) -> np.ndarray:
+        """View of the live flow ids (valid until the next mutation)."""
+        return self._ids[self._lo : self._hi]
+
+    @property
+    def sizes_bytes(self) -> np.ndarray | None:
+        """View of the live sizes, or ``None`` for a sizeless buffer."""
+        if self._sizes is None:
+            return None
+        return self._sizes[self._lo : self._hi]
+
+    def run(self) -> SortedRun:
+        """The live region as a :data:`SortedRun` of views."""
+        return self.timestamps, self.flow_ids, self.sizes_bytes
+
+    # ------------------------------------------------------------------
+    def _reserve(self, extra: int) -> None:
+        """Make room for ``extra`` more packets past the live region."""
+        needed = self.size + extra
+        if needed <= self._ts.size:
+            if self._hi + extra > self._ts.size:
+                # Enough total capacity — slide the live region to the
+                # front (safe: the buffer is never emitted, so no view
+                # escaping this object can alias the moved bytes).
+                size = self.size
+                self._ts[:size] = self._ts[self._lo : self._hi]
+                self._ids[:size] = self._ids[self._lo : self._hi]
+                if self._sizes is not None:
+                    self._sizes[:size] = self._sizes[self._lo : self._hi]
+                self._lo, self._hi = 0, size
+            return
+        capacity = max(self._ts.size * 2, needed, _MIN_CAPACITY)
+        ts = np.empty(capacity, dtype=np.float64)
+        ids = np.empty(capacity, dtype=np.int64)
+        size = self.size
+        ts[:size] = self._ts[self._lo : self._hi]
+        ids[:size] = self._ids[self._lo : self._hi]
+        if self._sizes is not None:
+            sizes = np.empty(capacity, dtype=np.int32)
+            sizes[:size] = self._sizes[self._lo : self._hi]
+            self._sizes = sizes
+        self._ts = ts
+        self._ids = ids
+        self._lo, self._hi = 0, size
+
+    def grow(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Extend the live region by ``count`` uninitialised packets.
+
+        Returns mutable ``(timestamps, flow_ids)`` views of the new
+        region for the caller to fill in place — e.g. drawing packet
+        placements directly into the buffer with ``rng.random(out=...)``
+        instead of allocating a temporary per chunk.  Only valid for
+        sizeless buffers (the expansion path's pending store).
+        """
+        if self._sizes is not None:
+            raise ValueError("grow() is only supported on sizeless buffers")
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._reserve(count)
+        lo, hi = self._hi, self._hi + count
+        self._hi = hi
+        return self._ts[lo:hi], self._ids[lo:hi]
+
+    def append(
+        self,
+        timestamps: np.ndarray,
+        flow_ids: np.ndarray,
+        sizes_bytes: np.ndarray | None = None,
+        id_offset: int = 0,
+    ) -> None:
+        """Append packets, optionally offsetting their flow ids in place.
+
+        The offset is applied while copying into the buffer, fusing the
+        ``flow_ids + offset`` temporary the reference path allocates.
+        """
+        count = int(timestamps.size)
+        if count == 0:
+            return
+        self._reserve(count)
+        lo, hi = self._hi, self._hi + count
+        self._ts[lo:hi] = timestamps
+        if id_offset:
+            np.add(flow_ids, id_offset, out=self._ids[lo:hi])
+        else:
+            self._ids[lo:hi] = flow_ids
+        if self._sizes is not None:
+            if sizes_bytes is None:
+                raise ValueError("buffer carries sizes; append them too")
+            self._sizes[lo:hi] = sizes_bytes
+        self._hi = hi
+
+    def consume(self, count: int) -> None:
+        """Drop ``count`` packets from the front (already merged out)."""
+        if count < 0 or count > self.size:
+            raise ValueError(f"cannot consume {count} of {self.size} packets")
+        self._lo += count
+
+    def replace(self, timestamps: np.ndarray, flow_ids: np.ndarray) -> None:
+        """Reset the buffer to exactly the given (sizeless) columns."""
+        self._lo = self._hi = 0
+        self.append(timestamps, flow_ids)
+
+
+__all__ = ["ChunkBuffer", "RunQueue", "SortedRun", "merge_sorted_runs", "stable_order"]

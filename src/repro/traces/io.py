@@ -135,9 +135,17 @@ def read_packet_batch_csv(path: str | Path) -> PacketBatch:
     return PacketBatch(timestamps, flow_ids, sizes)
 
 
-def write_packet_batch_npz(batch: PacketBatch, path: str | Path) -> None:
-    """Write a packet batch as a compressed NPZ (columnar) file."""
-    np.savez_compressed(
+def write_packet_batch_npz(batch: PacketBatch, path: str | Path, compressed: bool = True) -> None:
+    """Write a packet batch as an NPZ (columnar) file.
+
+    ``compressed=False`` stores the columns raw inside the archive
+    (larger on disk, but byte-aligned), which lets
+    :func:`read_packet_batch_npz` memory-map them instead of
+    decompressing into fresh heap arrays — the format to prefer for
+    packet tables that are re-read many times at scale.
+    """
+    save = np.savez_compressed if compressed else np.savez
+    save(
         Path(path),
         timestamps=batch.timestamps,
         flow_ids=batch.flow_ids,
@@ -145,8 +153,20 @@ def write_packet_batch_npz(batch: PacketBatch, path: str | Path) -> None:
     )
 
 
-def read_packet_batch_npz(path: str | Path) -> PacketBatch:
-    """Read a packet batch from an NPZ written by :func:`write_packet_batch_npz`."""
+def read_packet_batch_npz(path: str | Path, mmap: bool = False) -> PacketBatch:
+    """Read a packet batch from an NPZ written by :func:`write_packet_batch_npz`.
+
+    With ``mmap=True``, columns stored uncompressed are returned as
+    read-only memory maps (zero-copy, paged in on demand); compressed
+    columns degrade gracefully to the ordinary in-memory read.  The
+    mapping outlives the archive handle, so the batch stays valid.
+    """
+    if mmap:
+        data = np.load(Path(path), mmap_mode="r")
+        missing = {"timestamps", "flow_ids", "sizes_bytes"} - set(data.files)
+        if missing:
+            raise ValueError(f"packet NPZ {path} is missing arrays: {sorted(missing)}")
+        return PacketBatch(data["timestamps"], data["flow_ids"], data["sizes_bytes"])
     with np.load(Path(path)) as data:
         missing = {"timestamps", "flow_ids", "sizes_bytes"} - set(data.files)
         if missing:

@@ -25,6 +25,17 @@ replicates packets, and :class:`TimeWarpSource` reshapes the arrival
 process through a monotone time warp (diurnal load).  The named
 workloads built from these live in :mod:`repro.scenarios`.
 
+Chunk *assembly* — how pending packets are buffered, ordered and cut
+into emitted chunks — has two interchangeable backends (see
+``docs/traces.md``, "Source throughput"): the default ``"fast"`` backend
+builds on the amortised buffers and searchsorted merges of
+:mod:`repro.traces.buffers`, while ``"reference"`` keeps the original
+concatenate-and-stable-argsort implementation.  Both produce
+bit-identical chunks (same boundaries, same dtypes) for every source,
+chunk size and clip — property-tested in ``tests/test_sources.py`` and
+re-asserted by the benchmark harness before any number is recorded.
+Select per call (``assembly="reference"``) or per scope:
+
 >>> import numpy as np
 >>> from repro.traces.flow_trace import FlowLevelTrace
 >>> trace = FlowLevelTrace(
@@ -36,12 +47,20 @@ workloads built from these live in :mod:`repro.scenarios`.
 >>> chunks = list(source.iter_chunks(np.random.default_rng(0), chunk_packets=4))
 >>> sum(len(chunk) for chunk in chunks)
 9
+>>> with use_assembly("reference"):
+...     reference = list(source.iter_chunks(np.random.default_rng(0), chunk_packets=4))
+>>> all(
+...     np.array_equal(a.timestamps, b.timestamps)
+...     for a, b in zip(chunks, reference)
+... )
+True
 """
 
 from __future__ import annotations
 
 import abc
 from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -49,12 +68,57 @@ import numpy as np
 
 from ..flows.keys import FlowKeyPolicy
 from ..flows.packets import DEFAULT_PACKET_SIZE_BYTES, PacketBatch
+from .buffers import ChunkBuffer, RunQueue, SortedRun, merge_sorted_runs, stable_order
 from .flow_trace import FlowLevelTrace
 
 #: Default number of packets per streaming chunk.  Large enough to keep
 #: the per-chunk NumPy work efficient, small enough that a chunk is a
 #: rounding error next to a backbone-scale packet trace.
 DEFAULT_CHUNK_PACKETS = 1 << 18
+
+#: The two chunk-assembly backends: ``"fast"`` (amortised buffers +
+#: searchsorted merges, the default) and ``"reference"`` (the original
+#: concatenate + stable-argsort path, kept as the bit-checked oracle).
+ASSEMBLY_BACKENDS = ("fast", "reference")
+
+_assembly_default: str = "fast"
+
+
+def default_assembly() -> str:
+    """The chunk-assembly backend used when none is requested explicitly."""
+    return _assembly_default
+
+
+def _resolve_assembly(assembly: str | None) -> str:
+    backend = _assembly_default if assembly is None else assembly
+    if backend not in ASSEMBLY_BACKENDS:
+        raise ValueError(
+            f"unknown assembly backend {backend!r}; expected one of {ASSEMBLY_BACKENDS}"
+        )
+    return backend
+
+
+@contextmanager
+def use_assembly(backend: str) -> Iterator[None]:
+    """Scope the default chunk-assembly backend (harness/test helper).
+
+    This is an execution knob, not an experiment parameter: both
+    backends emit bit-identical streams, so the choice must never reach
+    a :class:`~repro.spec.RunSpec` or a store cache key.
+
+    >>> with use_assembly("reference"):
+    ...     default_assembly()
+    'reference'
+    >>> default_assembly()
+    'fast'
+    """
+    global _assembly_default
+    previous = _assembly_default
+    _assembly_default = _resolve_assembly(backend)
+    try:
+        yield
+    finally:
+        _assembly_default = previous
 
 
 def iter_expanded_chunks(
@@ -63,6 +127,7 @@ def iter_expanded_chunks(
     chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
     clip_to_duration: float | None = None,
     packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES,
+    assembly: str | None = None,
 ) -> Iterator[PacketBatch]:
     """Expand a flow-level trace into time-ordered packet chunks.
 
@@ -95,6 +160,10 @@ def iter_expanded_chunks(
         tails that spill past the measurement window).
     packet_size_bytes:
         Constant per-packet size recorded in the emitted batches.
+    assembly:
+        Chunk-assembly backend (``"fast"``/``"reference"``); ``None``
+        uses the scoped default (see :func:`use_assembly`).  Both
+        backends yield bit-identical chunks.
 
     Yields
     ------
@@ -102,6 +171,19 @@ def iter_expanded_chunks(
         Time-sorted packet chunks whose concatenation is the global
         time-sorted stream.
     """
+    if _resolve_assembly(assembly) == "fast":
+        return _iter_expanded_fast(trace, rng, chunk_packets, clip_to_duration, packet_size_bytes)
+    return _iter_expanded_reference(trace, rng, chunk_packets, clip_to_duration, packet_size_bytes)
+
+
+def _iter_expanded_reference(
+    trace: FlowLevelTrace,
+    rng: np.random.Generator,
+    chunk_packets: int | None,
+    clip_to_duration: float | None,
+    packet_size_bytes: int,
+) -> Iterator[PacketBatch]:
+    """The original concatenate + stable-argsort expansion (oracle path)."""
     num_flows = trace.num_flows
     if num_flows == 0:
         return
@@ -137,8 +219,8 @@ def iter_expanded_chunks(
                 keep = timestamps < clip_to_duration
                 timestamps = timestamps[keep]
                 flow_ids = flow_ids[keep]
-            pending_ts = np.concatenate((pending_ts, timestamps))
-            pending_ids = np.concatenate((pending_ids, flow_ids))
+            pending_ts = np.concatenate((pending_ts, timestamps))  # reprolint: disable=source-hot-concat -- retained reference path, bit-checked against fast
+            pending_ids = np.concatenate((pending_ids, flow_ids))  # reprolint: disable=source-hot-concat -- retained reference path, bit-checked against fast
             lo = hi
             frontier = float(starts[lo]) if lo < num_flows else np.inf
         else:
@@ -157,6 +239,85 @@ def iter_expanded_chunks(
             emit_ids = emit_ids[sort]
             sizes_bytes = np.full(emit_ts.size, packet_size_bytes, dtype=np.int32)
             yield PacketBatch(emit_ts, emit_ids, sizes_bytes)
+
+
+def _iter_expanded_fast(
+    trace: FlowLevelTrace,
+    rng: np.random.Generator,
+    chunk_packets: int | None,
+    clip_to_duration: float | None,
+    packet_size_bytes: int,
+) -> Iterator[PacketBatch]:
+    """Buffer-pooled expansion — bit-identical to the reference path.
+
+    Per admission round the reference concatenates the new block onto
+    the pending arrays, masks twice, and stable-argsorts the emitted
+    subset (a slow comparison timsort on random placements).  Here the
+    pending tail lives in a reusable :class:`ChunkBuffer`; the block's
+    placements are drawn *into* the buffer (``rng.random(out=...)``,
+    then scaled/shifted in place — IEEE-commutative, so the values are
+    bitwise those of ``starts + u * durations``), the whole live region
+    is ordered with :func:`stable_order` (introsort + exact tie
+    fix-up), and the sorted columns are gathered once into fresh output
+    arrays.  Clip and emission are then suffix/prefix ``searchsorted``
+    cuts: emitted chunks are zero-copy views of the fresh arrays (never
+    written again), and only the small pending tail is copied back into
+    the buffer.  Stable ordering of the buffer's (pending ++ block) row
+    order reproduces the reference's tie order exactly, by induction
+    over rounds.
+    """
+    num_flows = trace.num_flows
+    if num_flows == 0:
+        return
+    if chunk_packets is not None and chunk_packets < 1:
+        raise ValueError("chunk_packets must be positive when given")
+
+    order = np.argsort(trace.start_times, kind="stable").astype(np.int64)
+    starts = trace.start_times[order]
+    durations = trace.durations[order]
+    sizes = trace.sizes_packets[order]
+    cumulative = np.cumsum(sizes)
+    total_packets = int(cumulative[-1])
+    target = total_packets if chunk_packets is None else int(chunk_packets)
+
+    pending = ChunkBuffer()
+    lo = 0
+    while lo < num_flows or pending.size:
+        if lo < num_flows:
+            base = int(cumulative[lo - 1]) if lo else 0
+            hi = int(np.searchsorted(cumulative, base + target, side="right"))
+            hi = max(hi, lo + 1)
+            block_sizes = sizes[lo:hi]
+            count = int(cumulative[hi - 1]) - base
+            block_ts, block_ids = pending.grow(count)
+            rng.random(out=block_ts)
+            block_ts *= np.repeat(durations[lo:hi], block_sizes)
+            block_ts += np.repeat(starts[lo:hi], block_sizes)
+            block_ids[:] = np.repeat(order[lo:hi], block_sizes)
+            lo = hi
+
+        sort = stable_order(pending.timestamps)
+        merged_ts = pending.timestamps[sort]
+        merged_ids = pending.flow_ids[sort]
+        if clip_to_duration is not None:
+            # Clipped packets form a suffix of the sorted round; the
+            # reference drops the same set via a mask before sorting.
+            keep = int(np.searchsorted(merged_ts, clip_to_duration, side="left"))
+            merged_ts = merged_ts[:keep]
+            merged_ids = merged_ids[:keep]
+        if lo < num_flows:
+            # Packets before the next flow's start are final (no earlier
+            # packet can still arrive); the rest stay pending.
+            emit = int(np.searchsorted(merged_ts, float(starts[lo]), side="left"))
+        else:
+            emit = merged_ts.size
+        if emit:
+            yield PacketBatch.from_trusted_columns(
+                merged_ts[:emit],
+                merged_ids[:emit],
+                np.full(emit, packet_size_bytes, dtype=np.int32),
+            )
+        pending.replace(merged_ts[emit:], merged_ids[emit:])
 
 
 class PacketSource(abc.ABC):
@@ -266,6 +427,8 @@ class FlowTraceSource(PacketSource):
         self,
         rng: np.random.Generator,
         chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+        *,
+        assembly: str | None = None,
     ) -> Iterator[PacketBatch]:
         return iter_expanded_chunks(
             self.trace,
@@ -273,6 +436,7 @@ class FlowTraceSource(PacketSource):
             chunk_packets=chunk_packets,
             clip_to_duration=self.clip_to_duration,
             packet_size_bytes=self.packet_size_bytes,
+            assembly=assembly,
         )
 
     def group_ids(self, key_policy: FlowKeyPolicy) -> np.ndarray:
@@ -338,9 +502,12 @@ class PacketTableSource(PacketSource):
         self,
         rng: np.random.Generator,
         chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+        *,
+        assembly: str | None = None,
     ) -> Iterator[PacketBatch]:
         if chunk_packets is not None and chunk_packets < 1:
             raise ValueError("chunk_packets must be positive when given")
+        trusted = _resolve_assembly(assembly) == "fast"
         batch = self._batch
         total = len(batch)
         if total == 0:
@@ -348,9 +515,17 @@ class PacketTableSource(PacketSource):
         step = total if chunk_packets is None else int(chunk_packets)
         for lo in range(0, total, step):
             hi = min(lo + step, total)
-            yield PacketBatch(
-                batch.timestamps[lo:hi], batch.flow_ids[lo:hi], batch.sizes_bytes[lo:hi]
-            )
+            if trusted:
+                # The stored batch was validated at construction; every
+                # slice of it satisfies the invariants, so chunks are
+                # emitted as zero-copy views with no re-validation.
+                yield PacketBatch.from_trusted_columns(
+                    batch.timestamps[lo:hi], batch.flow_ids[lo:hi], batch.sizes_bytes[lo:hi]
+                )
+            else:
+                yield PacketBatch(
+                    batch.timestamps[lo:hi], batch.flow_ids[lo:hi], batch.sizes_bytes[lo:hi]
+                )
 
     def group_ids(self, key_policy: FlowKeyPolicy) -> np.ndarray:
         return np.arange(self.num_flows, dtype=np.int64)
@@ -388,15 +563,24 @@ class CSVPacketSource(PacketTableSource):
 
 class NPZPacketSource(PacketTableSource):
     """A packet table read from an NPZ file written by
-    :func:`repro.traces.io.write_packet_batch_npz`."""
+    :func:`repro.traces.io.write_packet_batch_npz`.
+
+    By default the file is opened memory-mapped: for NPZ files written
+    uncompressed (``write_packet_batch_npz(..., compressed=False)``)
+    the timestamp and size columns stay OS-paged views instead of heap
+    copies, so opening a multi-gigabyte packet table is cheap and
+    streaming it touches pages on demand.  Compressed archives fall
+    back to the ordinary in-memory read transparently; pass
+    ``mmap=False`` to force it.
+    """
 
     name = "packet-npz"
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, mmap: bool = True) -> None:
         from .io import read_packet_batch_npz
 
         self.path = Path(path)
-        batch = read_packet_batch_npz(self.path)
+        batch = read_packet_batch_npz(self.path, mmap=mmap)
         super().__init__(batch.timestamps, batch.flow_ids, batch.sizes_bytes)
 
 
@@ -430,7 +614,112 @@ class MergeSource(PacketSource):
         self,
         rng: np.random.Generator,
         chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+        *,
+        assembly: str | None = None,
     ) -> Iterator[PacketBatch]:
+        if _resolve_assembly(assembly) == "fast":
+            return self._iter_chunks_fast(rng, chunk_packets)
+        return self._iter_chunks_reference(rng, chunk_packets)
+
+    def _iter_chunks_fast(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None,
+    ) -> Iterator[PacketBatch]:
+        """Zero-copy k-way merge — bit-identical to the reference.
+
+        Each part's pending packets sit in a :class:`RunQueue` of
+        chunk views (no per-load copying; only the flow-id offset
+        allocates, and not at all for the first part).  Emission cuts
+        every part at the bound and merges the per-part runs with
+        earlier parts winning ties — the same total order as the
+        reference's stable argsort over the part-ordered
+        concatenation.  The merged columns are freshly allocated, so
+        the emitted chunks are zero-copy views into them.
+        """
+        if chunk_packets is not None and chunk_packets < 1:
+            raise ValueError("chunk_packets must be positive when given")
+        children = rng.spawn(len(self.sources))
+
+        def _as_run(chunk: PacketBatch, index: int) -> SortedRun:
+            offset = int(self._flow_offsets[index])
+            flow_ids = chunk.flow_ids + offset if offset else chunk.flow_ids
+            return chunk.timestamps, flow_ids, chunk.sizes_bytes
+
+        if chunk_packets is None:
+            # Materialised mode: one chunk holding the whole merged
+            # stream, assembled from the part-ordered chunk runs.
+            runs: list[SortedRun] = []
+            for index, (source, child) in enumerate(zip(self.sources, children)):
+                for chunk in source.iter_chunks(child, None):
+                    if len(chunk):
+                        runs.append(_as_run(chunk, index))
+            if not runs:
+                return
+            ts, ids, sizes = merge_sorted_runs(runs)
+            assert sizes is not None
+            yield PacketBatch.from_trusted_columns(ts, ids, sizes)
+            return
+        iterators = [
+            iter(source.iter_chunks(child, chunk_packets))
+            for source, child in zip(self.sources, children)
+        ]
+        n = len(self.sources)
+        queues = [RunQueue() for _ in range(n)]
+        exhausted = [False] * n
+
+        def _load(index: int) -> bool:
+            """Enqueue the part's next non-empty chunk as a pending run."""
+            while True:
+                try:
+                    chunk = next(iterators[index])
+                except StopIteration:
+                    exhausted[index] = True
+                    return False
+                if len(chunk) == 0:
+                    continue
+                queues[index].append(_as_run(chunk, index))
+                return True
+
+        def _emit(bound: float) -> Iterator[PacketBatch]:
+            """Yield every pending packet strictly below ``bound``, merged."""
+            runs: list[SortedRun] = []
+            for index in range(n):
+                runs.extend(queues[index].cut_below(bound))
+            if not runs:
+                return
+            ts, ids, sizes = merge_sorted_runs(runs)
+            assert sizes is not None
+            step = ts.size if chunk_packets is None else int(chunk_packets)
+            for lo in range(0, ts.size, step):
+                hi = min(lo + step, ts.size)
+                yield PacketBatch.from_trusted_columns(ts[lo:hi], ids[lo:hi], sizes[lo:hi])
+
+        for index in range(n):
+            _load(index)
+        while True:
+            live = [index for index in range(n) if not exhausted[index]]
+            if not live:
+                yield from _emit(np.inf)
+                return
+            bound = min(queues[index].last_time() for index in live)
+            emitted = False
+            for batch in _emit(bound):
+                emitted = True
+                yield batch
+            if not emitted:
+                # Everything pending sits exactly at the bound; pull more
+                # data from the blocking parts so the bound can advance.
+                for index in live:
+                    if queues[index].last_time() <= bound:
+                        _load(index)
+
+    def _iter_chunks_reference(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None,
+    ) -> Iterator[PacketBatch]:
+        """The original concatenate + stable-argsort merge (oracle path)."""
         if chunk_packets is not None and chunk_packets < 1:
             raise ValueError("chunk_packets must be positive when given")
         # One child generator per part, derived once up front — each
@@ -481,11 +770,11 @@ class MergeSource(PacketSource):
                     return False
                 if len(chunk) == 0:
                     continue
-                pending_ts[index] = np.concatenate((pending_ts[index], chunk.timestamps))
-                pending_ids[index] = np.concatenate(
+                pending_ts[index] = np.concatenate((pending_ts[index], chunk.timestamps))  # reprolint: disable=source-hot-concat -- retained reference path, bit-checked against fast
+                pending_ids[index] = np.concatenate(  # reprolint: disable=source-hot-concat -- retained reference path, bit-checked against fast
                     (pending_ids[index], chunk.flow_ids + self._flow_offsets[index])
                 )
-                pending_sizes[index] = np.concatenate((pending_sizes[index], chunk.sizes_bytes))
+                pending_sizes[index] = np.concatenate((pending_sizes[index], chunk.sizes_bytes))  # reprolint: disable=source-hot-concat -- retained reference path, bit-checked against fast
                 return True
 
         def _emit(bound: float) -> Iterator[PacketBatch]:
@@ -607,7 +896,19 @@ class LoadScaleSource(PacketSource):
         self,
         rng: np.random.Generator,
         chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+        *,
+        assembly: str | None = None,
     ) -> Iterator[PacketBatch]:
+        if _resolve_assembly(assembly) == "fast":
+            return self._iter_chunks_fast(rng, chunk_packets)
+        return self._iter_chunks_reference(rng, chunk_packets)
+
+    def _iter_chunks_reference(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None,
+    ) -> Iterator[PacketBatch]:
+        """The original always-hash, always-validate path (oracle)."""
         # One draw up front; all later randomness is hash-derived so the
         # rng consumption cannot depend on the chunk boundaries.
         seed = np.uint64(rng.integers(0, 2**63, dtype=np.int64))
@@ -629,6 +930,59 @@ class LoadScaleSource(PacketSource):
                 np.repeat(chunk.flow_ids, repeats),
                 np.repeat(chunk.sizes_bytes, repeats),
             )
+
+    def _iter_chunks_fast(
+        self,
+        rng: np.random.Generator,
+        chunk_packets: int | None,
+    ) -> Iterator[PacketBatch]:
+        """Shortcut integer factors; skip re-validation everywhere.
+
+        ``np.repeat`` preserves sortedness, dtypes and sign, so the
+        replicated columns satisfy every batch invariant by
+        construction and are emitted through the trusted constructor.
+        Integer factors need no per-packet hash at all: the fractional
+        draw ``uniforms < fraction`` is constant-false, making the
+        repeat count the same scalar for every packet.  The up-front
+        seed draw and the inner source's RNG consumption are preserved
+        exactly, so the stream stays chunk-size invariant and
+        bit-identical to the reference.
+        """
+        seed = np.uint64(rng.integers(0, 2**63, dtype=np.int64))
+        base = int(self.factor)
+        fraction = self.factor - base
+        if fraction > 0.0:
+            position = 0
+            for chunk in self.source.iter_chunks(rng, chunk_packets):
+                count = len(chunk)
+                if count == 0:
+                    continue
+                indices = np.arange(position, position + count, dtype=np.uint64)
+                position += count
+                uniforms = _mix64(indices ^ seed).astype(np.float64) / float(2**64)
+                repeats = base + (uniforms < fraction).astype(np.int64)
+                if not repeats.any():
+                    continue
+                yield PacketBatch.from_trusted_columns(
+                    np.repeat(chunk.timestamps, repeats),
+                    np.repeat(chunk.flow_ids, repeats),
+                    np.repeat(chunk.sizes_bytes, repeats),
+                )
+            return
+        # Integer factor: constant per-packet repeat count.  The inner
+        # source is still drained even for factor 0 so its randomness is
+        # consumed exactly as the reference consumes it.
+        for chunk in self.source.iter_chunks(rng, chunk_packets):
+            if len(chunk) == 0 or base == 0:
+                continue
+            if base == 1:
+                yield chunk
+            else:
+                yield PacketBatch.from_trusted_columns(
+                    np.repeat(chunk.timestamps, base),
+                    np.repeat(chunk.flow_ids, base),
+                    np.repeat(chunk.sizes_bytes, base),
+                )
 
     def group_ids(self, key_policy: FlowKeyPolicy) -> np.ndarray:
         return self.source.group_ids(key_policy)
@@ -742,9 +1096,26 @@ class TimeWarpSource(PacketSource):
         self,
         rng: np.random.Generator,
         chunk_packets: int | None = DEFAULT_CHUNK_PACKETS,
+        *,
+        assembly: str | None = None,
     ) -> Iterator[PacketBatch]:
+        # Fast assembly: a PiecewiseLinearWarp is validated monotone
+        # non-decreasing at construction, so warping a sorted column
+        # keeps it sorted, and its minimum output bounds the warped
+        # times from below — every batch invariant holds by
+        # construction and re-validation is skipped.  Arbitrary warp
+        # callables keep the checked constructor under both backends.
+        trusted = (
+            _resolve_assembly(assembly) == "fast"
+            and isinstance(self.warp, PiecewiseLinearWarp)
+            and float(self.warp.outputs[0]) >= 0.0
+        )
         for chunk in self.source.iter_chunks(rng, chunk_packets):
-            yield PacketBatch(self.warp(chunk.timestamps), chunk.flow_ids, chunk.sizes_bytes)
+            warped = self.warp(chunk.timestamps)
+            if trusted:
+                yield PacketBatch.from_trusted_columns(warped, chunk.flow_ids, chunk.sizes_bytes)
+            else:
+                yield PacketBatch(warped, chunk.flow_ids, chunk.sizes_bytes)
 
     def group_ids(self, key_policy: FlowKeyPolicy) -> np.ndarray:
         return self.source.group_ids(key_policy)
@@ -766,7 +1137,10 @@ class TimeWarpSource(PacketSource):
 
 
 __all__ = [
+    "ASSEMBLY_BACKENDS",
     "DEFAULT_CHUNK_PACKETS",
+    "default_assembly",
+    "use_assembly",
     "PacketSource",
     "FlowTraceSource",
     "PacketTableSource",

@@ -164,6 +164,21 @@ RULE_FIXTURES = [
         "    return np.argsort(codes, kind='stable')\n",
     ),
     (
+        "source-hot-concat",
+        "import numpy as np\n"
+        "def stream(chunks):\n"
+        "    pending = np.empty(0)\n"
+        "    for chunk in chunks:\n"
+        "        pending = np.concatenate((pending, chunk))\n"
+        "    return pending\n",
+        "from .buffers import ChunkBuffer\n"
+        "def stream(chunks):\n"
+        "    pending = ChunkBuffer()\n"
+        "    for chunk in chunks:\n"
+        "        pending.append(chunk.timestamps, chunk.flow_ids)\n"
+        "    return pending.run()\n",
+    ),
+    (
         "missing-annotations",
         "def run(spec):\n    return spec\n",
         "def run(spec: str) -> str:\n    return spec\n",
@@ -183,6 +198,7 @@ RULE_FIXTURES = [
 
 ANNOTATION_MODULE = "repro.store.fixture"  # inside the typed API + store surface
 HOT_PATH_MODULE = "repro.flows.accounting"  # rule REP205's exact-module scope
+SOURCE_MODULE = "repro.traces.source"  # rule REP206's exact-module scope
 
 #: Rules scoped to a module prefix narrower than the library: their
 #: fixtures must be linted as if they lived under that prefix.
@@ -192,6 +208,8 @@ PREFIX_SCOPED_RULES = ("missing-annotations", "non-atomic-write")
 def _module_for(rule_name: str) -> str:
     if rule_name == "hot-path-sort":
         return HOT_PATH_MODULE
+    if rule_name == "source-hot-concat":
+        return SOURCE_MODULE
     return ANNOTATION_MODULE if rule_name in PREFIX_SCOPED_RULES else LIB
 
 
@@ -315,6 +333,74 @@ class TestHotPathSort:
             "  # reprolint: disable=hot-path-sort -- sorts unique flows once per extract\n"
         )
         assert lint_source(justified, module=self.HOT, select="hot-path-sort") == []
+
+
+class TestSourceHotConcat:
+    SRC = "repro.traces.source"
+
+    def test_flags_concat_growth_in_chunk_loops(self):
+        source = (
+            "import numpy as np\n"
+            "def stream(chunks):\n"
+            "    pending = np.empty(0)\n"
+            "    while True:\n"
+            "        pending = np.concatenate((pending, next(chunks)))\n"
+            "        pending = np.append(pending, 0.0)\n"
+        )
+        findings = lint_source(source, module=self.SRC, select="source-hot-concat")
+        assert [v.line for v in findings] == [5, 6]
+
+    def test_concat_outside_loops_allowed(self):
+        # One-shot assembly (e.g. materialising a whole stream once) is
+        # not per-chunk churn.
+        source = (
+            "import numpy as np\n"
+            "def materialise(parts):\n"
+            "    return np.concatenate(parts)\n"
+        )
+        assert lint_source(source, module=self.SRC, select="source-hot-concat") == []
+
+    def test_list_append_not_flagged(self):
+        source = (
+            "def stream(chunks):\n"
+            "    parts = []\n"
+            "    for chunk in chunks:\n"
+            "        parts.append(chunk)\n"
+            "    return parts\n"
+        )
+        assert lint_source(source, module=self.SRC, select="source-hot-concat") == []
+
+    def test_silent_outside_source_module(self):
+        source = (
+            "import numpy as np\n"
+            "def stream(chunks):\n"
+            "    out = np.empty(0)\n"
+            "    for chunk in chunks:\n"
+            "        out = np.concatenate((out, chunk))\n"
+        )
+        for module in (LIB, "repro.traces.buffers", None):
+            assert lint_source(source, module=module, select="source-hot-concat") == []
+
+    def test_suppression_requires_reason(self):
+        bare = (
+            "import numpy as np\n"
+            "def stream(chunks):\n"
+            "    out = np.empty(0)\n"
+            "    for chunk in chunks:\n"
+            "        out = np.concatenate((out, chunk))"
+            "  # reprolint: disable=source-hot-concat\n"
+        )
+        findings = lint_source(bare, module=self.SRC, select="source-hot-concat")
+        assert [v.rule_name for v in findings] == ["source-hot-concat"]
+        justified = (
+            "import numpy as np\n"
+            "def stream(chunks):\n"
+            "    out = np.empty(0)\n"
+            "    for chunk in chunks:\n"
+            "        out = np.concatenate((out, chunk))"
+            "  # reprolint: disable=source-hot-concat -- retained reference path\n"
+        )
+        assert lint_source(justified, module=self.SRC, select="source-hot-concat") == []
 
 
 class TestEngine:

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 from repro.flows.keys import DestinationPrefixKeyPolicy, FiveTupleKeyPolicy
 from repro.flows.packets import PacketBatch
 from repro.pipeline import Pipeline
+from repro.traces.flow_trace import FlowLevelTrace
 from repro.traces.io import (
     read_packet_batch_csv,
     read_packet_batch_npz,
@@ -35,6 +36,7 @@ from repro.traces.source import (
     TimeWarpSource,
     diurnal_warp,
     iter_expanded_chunks,
+    use_assembly,
 )
 
 
@@ -425,3 +427,175 @@ class TestChunkSizeInvariance:
         chunked = _concat(source, rng_seed=1, chunk_packets=chunk_packets)
         np.testing.assert_array_equal(chunked.timestamps, reference.timestamps)
         np.testing.assert_array_equal(chunked.flow_ids, reference.flow_ids)
+
+
+# ----------------------------------------------------------------------
+# Fast vs reference assembly backends (hypothesis, bit-identity)
+# ----------------------------------------------------------------------
+def _flow_trace_strategy():
+    """Tiny flow traces with tie-heavy starts and zero durations."""
+    return st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=6),  # start in 0.5s ticks
+            st.sampled_from([0.0, 0.0, 1.5]),  # durations, biased to ties
+            st.integers(min_value=1, max_value=5),  # packets
+        ),
+        min_size=1,
+        max_size=8,
+    ).map(
+        lambda rows: FlowLevelTrace(
+            start_times=np.array([0.5 * s for s, _, _ in rows]),
+            durations=np.array([d for _, d, _ in rows]),
+            sizes_packets=np.array([p for _, _, p in rows], dtype=np.int64),
+            src_ips=np.arange(len(rows), dtype=np.uint32),
+            dst_ips=np.arange(len(rows), dtype=np.uint32),
+            src_ports=np.zeros(len(rows), dtype=np.uint16),
+            dst_ports=np.zeros(len(rows), dtype=np.uint16),
+            protocols=np.full(len(rows), 6, dtype=np.uint8),
+        )
+    )
+
+
+def _chunks(source, backend, seed, chunk_packets):
+    with use_assembly(backend):
+        return list(source.iter_chunks(np.random.default_rng(seed), chunk_packets))
+
+
+def _assert_chunks_identical(fast, reference):
+    assert len(fast) == len(reference)
+    for a, b in zip(fast, reference):
+        for column in ("timestamps", "flow_ids", "sizes_bytes"):
+            x, y = getattr(a, column), getattr(b, column)
+            assert x.dtype == y.dtype
+            np.testing.assert_array_equal(x, y)
+
+
+class TestAssemblyBackendEquivalence:
+    """Tentpole acceptance: every fast assembly path is bit-identical to
+    the retained reference — same chunk boundaries, values, and dtypes —
+    for arbitrary chunk sizes, including empty chunks, single-flow
+    traces, tied timestamps, and clips landing exactly on a pending
+    packet."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        trace=_flow_trace_strategy(),
+        chunk_packets=st.one_of(st.none(), st.integers(1, 9)),
+        seed=st.integers(0, 3),
+    )
+    def test_expanded_chunks_bit_identical(self, trace, chunk_packets, seed):
+        fast = list(
+            iter_expanded_chunks(
+                trace, np.random.default_rng(seed), chunk_packets, assembly="fast"
+            )
+        )
+        reference = list(
+            iter_expanded_chunks(
+                trace, np.random.default_rng(seed), chunk_packets, assembly="reference"
+            )
+        )
+        _assert_chunks_identical(fast, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trace=_flow_trace_strategy(),
+        chunk_packets=st.one_of(st.none(), st.integers(1, 9)),
+        seed=st.integers(0, 1),
+    )
+    def test_clip_on_pending_packet_bit_identical(self, trace, chunk_packets, seed):
+        # Clip exactly on an emitted packet timestamp: the < comparison
+        # must drop it identically under both backends.
+        reference_all = _concat(FlowTraceSource(trace), rng_seed=seed)
+        ts = reference_all.timestamps
+        clip = float(ts[ts.size // 2]) if ts.size else 1.0
+        if clip <= 0.0:
+            clip = 1.0
+        fast = list(
+            iter_expanded_chunks(
+                trace,
+                np.random.default_rng(seed),
+                chunk_packets,
+                clip_to_duration=clip,
+                assembly="fast",
+            )
+        )
+        reference = list(
+            iter_expanded_chunks(
+                trace,
+                np.random.default_rng(seed),
+                chunk_packets,
+                clip_to_duration=clip,
+                assembly="reference",
+            )
+        )
+        _assert_chunks_identical(fast, reference)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        source=_merged_and_transformed(),
+        chunk_packets=st.one_of(st.none(), st.integers(1, 9)),
+        seed=st.integers(0, 2),
+    )
+    def test_merge_and_transform_stack_bit_identical(self, source, chunk_packets, seed):
+        fast = _chunks(source, "fast", seed, chunk_packets)
+        reference = _chunks(source, "reference", seed, chunk_packets)
+        _assert_chunks_identical(fast, reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        trace=_flow_trace_strategy(),
+        factor=st.sampled_from([0.0, 0.5, 1.0, 2.0, 2.5, 8.0]),
+        chunk_packets=st.one_of(st.none(), st.integers(1, 9)),
+    )
+    def test_load_scale_paths_bit_identical(self, trace, factor, chunk_packets):
+        source = LoadScaleSource(FlowTraceSource(trace), factor)
+        fast = _chunks(source, "fast", 9, chunk_packets)
+        reference = _chunks(source, "reference", 9, chunk_packets)
+        _assert_chunks_identical(fast, reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        trace=_flow_trace_strategy(),
+        stretch=st.sampled_from([0.5, 1.0, 3.0]),
+        chunk_packets=st.one_of(st.none(), st.integers(1, 9)),
+    )
+    def test_time_warp_bit_identical(self, trace, stretch, chunk_packets):
+        warp = PiecewiseLinearWarp(
+            inputs=np.array([0.0, 10.0]), outputs=np.array([0.0, 10.0 * stretch])
+        )
+        source = TimeWarpSource(FlowTraceSource(trace), warp)
+        fast = _chunks(source, "fast", 4, chunk_packets)
+        reference = _chunks(source, "reference", 4, chunk_packets)
+        _assert_chunks_identical(fast, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=_flow_trace_strategy(), seed=st.integers(0, 3))
+    def test_expand_to_packets_bit_identical(self, trace, seed):
+        from repro.traces.expansion import expand_to_packets
+
+        fast = expand_to_packets(trace, seed, assembly="fast")
+        reference = expand_to_packets(trace, seed, assembly="reference")
+        _assert_chunks_identical([fast], [reference])
+
+    def test_single_flow_trace_bit_identical(self):
+        trace = FlowLevelTrace(
+            start_times=np.array([0.25]),
+            durations=np.array([2.0]),
+            sizes_packets=np.array([23], dtype=np.int64),
+            src_ips=np.array([1], dtype=np.uint32),
+            dst_ips=np.array([2], dtype=np.uint32),
+            src_ports=np.array([3], dtype=np.uint16),
+            dst_ports=np.array([4], dtype=np.uint16),
+            protocols=np.array([6], dtype=np.uint8),
+        )
+        for chunk_packets in (None, 1, 5, 64):
+            source = FlowTraceSource(trace)
+            _assert_chunks_identical(
+                _chunks(source, "fast", 0, chunk_packets),
+                _chunks(source, "reference", 0, chunk_packets),
+            )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown assembly backend"):
+            with use_assembly("turbo"):
+                pass
