@@ -209,6 +209,22 @@ def bench_sweep(args: argparse.Namespace) -> dict:
 SINGLE_CORE_NOTE = "single-core container — parallel speedup not demonstrable"
 
 
+def host_metadata() -> dict:
+    """Host facts stamped into every results section.
+
+    Benchmark numbers are only comparable across PRs when the machine
+    they were recorded on travels with them; stamping the metadata into
+    each section (not just the report header) keeps it attached when a
+    section is quoted or diffed in isolation.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
 def _single_core() -> bool:
     return (os.cpu_count() or 1) < 2
 
@@ -621,6 +637,82 @@ def bench_sweep_workers(args: argparse.Namespace) -> dict:
     }
 
 
+def bench_telemetry(args: argparse.Namespace) -> dict:
+    """Telemetry disabled-mode overhead and the on-vs-off bit-identity.
+
+    The off-switch contract (docs/observability.md): with telemetry
+    disabled every instrumentation point is one attribute check plus a
+    shared no-op span, so an instrumented per-chunk loop must stay
+    within a few percent of the identical loop with no instrumentation
+    at all.  The microbenchmark times a representative per-chunk
+    workload (NumPy reductions, sized like a fraction of a real chunk)
+    with and without the guard pattern the executor uses, best of
+    several passes; the CI perf-smoke step asserts the recorded
+    ``disabled_overhead_ratio`` stays at or below 1.03.  The pipeline
+    pass then runs the same pipeline with telemetry on and off and
+    asserts the results are bit-identical before recording both times —
+    a perturbation fails the harness rather than polluting the baseline.
+    """
+    from repro import telemetry
+
+    telemetry.disable()
+    rng = np.random.default_rng(args.seed)
+    iterations = 300 if args.quick else 1500
+    data = rng.random(1 << 16)
+
+    def chunk_work() -> float:
+        return float(data.sum()) + float(data.min())
+
+    def bare_loop() -> float:
+        total = 0.0
+        for _ in range(iterations):
+            total += chunk_work()
+        return total
+
+    def guarded_loop() -> float:
+        total = 0.0
+        for _ in range(iterations):
+            total += chunk_work()
+            if telemetry.enabled:
+                telemetry.count("bench.chunks")
+                telemetry.count("bench.packets", 1 << 16)
+            with telemetry.span("bench.chunk"):
+                pass
+        return total
+
+    bare_seconds = min(_timed(bare_loop)[0] for _ in range(5))
+    guarded_seconds = min(_timed(guarded_loop)[0] for _ in range(5))
+    ratio = guarded_seconds / bare_seconds if bare_seconds else None
+
+    def run():
+        return _pipeline(args, rates=(0.1,), runs=2).run(parallel="serial")
+
+    disabled_seconds, baseline = _timed(run)
+    with telemetry.use_telemetry():
+        enabled_seconds, instrumented = _timed(run)
+        snapshot = telemetry.snapshot()
+    identical = baseline.to_dict() == instrumented.to_dict()
+    if not identical:
+        raise SystemExit(
+            "FATAL: telemetry perturbs pipeline results — observability regression"
+        )
+    return {
+        "loop_iterations": iterations,
+        "bare_loop_seconds": round(bare_seconds, 6),
+        "guarded_loop_seconds": round(guarded_seconds, 6),
+        "disabled_overhead_ratio": round(ratio, 4) if ratio is not None else None,
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "enabled_overhead_ratio": round(enabled_seconds / disabled_seconds, 3)
+        if disabled_seconds
+        else None,
+        "counters_recorded": len(snapshot["counters"]),
+        "spans_recorded": len(snapshot["spans"]),
+        "snapshot_schema": snapshot["schema"],
+        "bit_identical": identical,
+    }
+
+
 def bench_streaming(args: argparse.Namespace) -> dict:
     """Single-sampler run at several streaming chunk sizes."""
     timings: dict[str, float] = {}
@@ -683,16 +775,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.jobs is None:
         args.jobs = os.cpu_count() or 1
 
+    host = host_metadata()
     report = {
         "benchmark": "repro.pipeline execution engine",
         "created_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick": args.quick,
-        "environment": {
-            "cpu_count": os.cpu_count(),
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-        },
+        "environment": host,
         "config": {
             "trace": "sprint",
             "scale": args.scale,
@@ -794,6 +882,15 @@ def main(argv: list[str] | None = None) -> int:
             + (f" [{sweep_workers['note']}]" if "note" in sweep_workers else "")
         )
 
+    if wanted("telemetry"):
+        print(f"telemetry   ... ", end="", flush=True)
+        report["results"]["telemetry"] = telemetry_section = bench_telemetry(args)
+        print(
+            f"disabled-mode loop overhead {telemetry_section['disabled_overhead_ratio']}x, "
+            f"pipeline off {telemetry_section['disabled_seconds']}s vs "
+            f"on {telemetry_section['enabled_seconds']}s (bit-identical)"
+        )
+
     if wanted("streaming"):
         print(f"streaming   ... ", end="", flush=True)
         report["results"]["streaming"] = streaming = bench_streaming(args)
@@ -809,6 +906,9 @@ def main(argv: list[str] | None = None) -> int:
                 for name, entry in scenarios.items()
             )
         )
+
+    for section in report["results"].values():
+        section["host"] = host
 
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.output}")

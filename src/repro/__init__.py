@@ -43,6 +43,11 @@ Subpackages
     The ``reprolint`` AST contract linter: static rules enforcing the
     determinism, picklability and cache-key invariants the other
     subsystems rely on (``repro lint``).
+``repro.telemetry``
+    Process-local observability: counters, gauges, histograms and
+    timing spans with a zero-overhead off-switch, deterministic
+    cross-process merging, and the multi-subscriber event bus behind
+    ``RunStore.events``.
 
 Quickstart
 ----------
@@ -58,9 +63,9 @@ Quickstart
 5
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
-from . import analysis
+from . import analysis, telemetry
 from .core import (
     DetectionModel,
     FlowPopulation,
@@ -80,6 +85,7 @@ from .sweep import SweepGrid, run_sweep
 __all__ = [
     "__version__",
     "analysis",
+    "telemetry",
     "misranking_probability_exact",
     "misranking_probability_gaussian",
     "optimal_sampling_rate",

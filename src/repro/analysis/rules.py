@@ -61,6 +61,7 @@ API_MODULE_PREFIXES = (
     "repro.registry",
     "repro.spec",
     "repro.analysis",
+    "repro.telemetry",
 )
 
 #: ``# noqa: CODE - reason`` style justification tag (rule REP101
@@ -737,6 +738,54 @@ class SourceHotConcatRule(Rule):
             )
 
 
+#: The one library module sanctioned to read ``time.perf_counter``
+#: directly: the telemetry registry wraps it behind named spans with a
+#: zero-overhead off-switch (rule REP207).
+_RAW_TIMING_EXEMPT_MODULES = frozenset({"repro.telemetry"})
+
+#: Call targets (matched by dotted suffix) that time code raw.
+_RAW_TIMING_SUFFIXES = ("time.perf_counter", "time.perf_counter_ns")
+
+
+@register
+class RawTimingRule(Rule):
+    """REP207: raw perf_counter timing goes through repro.telemetry."""
+
+    id = "REP207"
+    name = "raw-timing"
+    library_only = True
+    requires_reason = True
+    rationale = (
+        "Ad-hoc `time.perf_counter()` pairs scattered through library "
+        "code cannot be switched off, aggregated, or merged across "
+        "worker processes; repro.telemetry.span() provides exactly that "
+        "(and is itself the one sanctioned perf_counter caller).  "
+        "Timing in benchmarks/harness code is out of scope — the rule "
+        "is library-only.  Suppressions must say why a span cannot "
+        "carry the measurement."
+    )
+
+    def check(self, context: FileContext) -> Iterator[Violation]:
+        if context.module in _RAW_TIMING_EXEMPT_MODULES:
+            return
+        for call in _walk_calls(context.tree):
+            target = dotted_name(call.func)
+            if target is None:
+                continue
+            for suffix in _RAW_TIMING_SUFFIXES:
+                if target == suffix or target.endswith("." + suffix):
+                    yield self.violation(
+                        context,
+                        call,
+                        f"`{target}()` times code raw; wrap the region in "
+                        "repro.telemetry.span(...) so the measurement is "
+                        "switchable, aggregated and mergeable — or "
+                        "suppress with a reason explaining why a span "
+                        "cannot carry it",
+                    )
+                    break
+
+
 @register
 class MissingAnnotationsRule(Rule):
     """REP301: the public API carries complete type annotations."""
@@ -816,6 +865,7 @@ __all__ = [
     "MissingAnnotationsRule",
     "MutableDefaultRule",
     "NonAtomicWriteRule",
+    "RawTimingRule",
     "RegistrySpecRule",
     "SourceHotConcatRule",
     "UnorderedIterationRule",

@@ -7,7 +7,9 @@ Seven subcommands cover the workflows the library supports:
   --top 10``); ``--scenario burst:factor=20`` streams a named workload
   from the scenario registry instead of a plain trace; ``--store DIR``
   caches the result in (and reuses it from) a persistent experiment
-  store, ``--json PATH`` dumps the full result as JSON;
+  store, ``--json PATH`` dumps the full result as JSON, and
+  ``--telemetry [PATH.json]`` captures a metrics/spans snapshot of the
+  run (see ``docs/observability.md``);
 * ``sweep`` — resumable grid sweeps over a store: ``repro sweep run``
   executes the missing cells of a (source x sampler x rate x seed)
   grid (``--workers N`` drains it with N crash-safe, lease-coordinated
@@ -56,6 +58,7 @@ import time
 from collections.abc import Sequence
 from pathlib import Path
 
+from . import telemetry
 from .analysis import cli as analysis_cli
 from .core.flow_size_model import FlowPopulation
 from .core.rate_planning import required_sampling_rate
@@ -180,6 +183,18 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the full result (PipelineResult.to_dict) as JSON to PATH",
+    )
+    run.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH.json",
+        help="enable telemetry for this run and print the registry snapshot "
+        "(schema repro-telemetry/1: counters, gauges, histograms, spans) "
+        "after the result, or write it to PATH.json; results are "
+        "bit-identical with or without this flag and it never enters the "
+        "store key",
     )
     run.add_argument(
         "--list-components",
@@ -602,20 +617,30 @@ def _run_pipeline(args: argparse.Namespace) -> str:
         pipeline.streaming(
             DEFAULT_CHUNK_PACKETS if args.chunk_packets is None else args.chunk_packets
         )
-    cached = False
-    if args.store is not None:
-        store = RunStore(args.store)
-        stored = store.get(run_spec)
-        if stored is not None:
-            cached = True
-            result = stored.result
-        else:
-            result = pipeline.run(jobs=args.jobs)
-            store.put(run_spec, result)
+    store = RunStore(args.store) if args.store is not None else None
+
+    def _execute() -> tuple[object, bool]:
+        if store is not None:
+            stored = store.get(run_spec)
+            if stored is not None:
+                return stored.result, True
+            executed = pipeline.run(jobs=args.jobs)
+            store.put(run_spec, executed)
+            return executed, False
+        return pipeline.run(jobs=args.jobs), False
+
+    # --telemetry is an observation knob, not an experiment parameter:
+    # it never reaches the RunSpec above, and the executed numbers are
+    # bit-identical either way (asserted in the test suite).
+    snapshot: dict | None = None
+    if args.telemetry is not None:
+        with telemetry.use_telemetry():
+            result, cached = _execute()
+            snapshot = telemetry.snapshot()
     else:
-        result = pipeline.run(jobs=args.jobs)
+        result, cached = _execute()
     text = render_pipeline_result(result)
-    if args.store is not None:
+    if store is not None:
         state = "loaded from" if cached else "stored in"
         text += f"\n{state} {args.store} (key {store.key_of(run_spec)})"
     if args.json:
@@ -624,6 +649,13 @@ def _run_pipeline(args: argparse.Namespace) -> str:
     if args.csv:
         result.to_csv(args.csv)
         text += f"\nwrote per-bin CSV to {args.csv}"
+    if snapshot is not None:
+        rendered = json.dumps(snapshot, indent=2, sort_keys=True)
+        if args.telemetry == "-":
+            text += f"\ntelemetry snapshot ({telemetry.SCHEMA}):\n{rendered}"
+        else:
+            Path(args.telemetry).write_text(rendered + "\n")
+            text += f"\nwrote telemetry snapshot to {args.telemetry}"
     return text
 
 

@@ -166,6 +166,8 @@ def render_sweep_watch(status: dict) -> str:
     One row per grid cell with its lease lifecycle state (``done`` /
     ``leased`` / ``orphaned`` / ``pending``), the owning worker and the
     lease's remaining seconds — the body of ``repro sweep watch``.
+    When workers have published heartbeat telemetry files, a per-worker
+    block follows with live throughput (cells/s) and cache-hit counts.
     """
     lines = [
         (
@@ -175,6 +177,31 @@ def render_sweep_watch(status: dict) -> str:
         ),
         _format_row(["cell", "key", "state", "owner", "ttl", "spec"], [6, 26, 9, 24, 8, 40]),
     ]
+    workers = status.get("workers") or []
+    if workers:
+        worker_lines = [
+            "workers:",
+            _format_row(
+                ["owner", "done", "cells/s", "cache hits", "skipped", "elapsed"],
+                [28, 6, 9, 11, 8, 10],
+            ),
+        ]
+        for worker in workers:
+            rate = worker.get("cells_per_s")
+            worker_lines.append(
+                _format_row(
+                    [
+                        str(worker.get("owner", "-")),
+                        str(worker.get("cells_done", 0)),
+                        "-" if rate is None else f"{rate:.2f}",
+                        str(worker.get("cache_hits", 0)),
+                        str(worker.get("skipped", 0)),
+                        f"{worker.get('elapsed_s', 0.0):.1f}s",
+                    ],
+                    [28, 6, 9, 11, 8, 10],
+                )
+            )
+        lines[1:1] = worker_lines + [""]
     for index, row in enumerate(status["cells"]):
         spec = row["spec"]
         source = spec.scenario if spec.scenario is not None else (spec.trace or "sprint")

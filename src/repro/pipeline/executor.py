@@ -60,6 +60,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import telemetry
 from ..flows.accounting import BinAccount, FlowAccountingEngine, bin_segments
 from ..flows.packets import PacketBatch
 from ..sampling.base import PacketSampler
@@ -192,6 +193,10 @@ def run_stream(
             raise ValueError("chunks must arrive in global time order")
         previous_end = float(chunk.timestamps[-1])
         total_packets += len(chunk)
+        if telemetry.enabled:
+            telemetry.count("stream.chunks")
+            telemetry.count("stream.packets", len(chunk))
+            telemetry.count("stream.bytes", int(chunk.sizes_bytes.sum()))
 
         # Bins entirely before this chunk can never grow again.
         head_bin = int(np.floor(first_time / bin_duration))
@@ -199,34 +204,37 @@ def run_stream(
             if index < head_bin:
                 _finalise(index)
 
-        bin_of_packet = np.floor_divide(chunk.timestamps, bin_duration).astype(np.int64)
-        max_bin = int(bin_of_packet[-1])
-        if max_bin >= (2**62) // stride:
-            raise OverflowError("bin x group key space does not fit in int64")
-        code = bin_of_packet * stride + groups[chunk.flow_ids]
-        unique_codes, inverse, original = np.unique(
-            code, return_inverse=True, return_counts=True
-        )
-        sampled = np.empty((num_streams, unique_codes.size), dtype=np.int64)
-        for stream, sampler in enumerate(stream_samplers):
-            mask = np.asarray(sampler.sample_mask(chunk), dtype=bool)
-            sampled[stream] = np.bincount(inverse[mask], minlength=unique_codes.size)
+        with telemetry.span("stream.groupby"):
+            bin_of_packet = np.floor_divide(chunk.timestamps, bin_duration).astype(np.int64)
+            max_bin = int(bin_of_packet[-1])
+            if max_bin >= (2**62) // stride:
+                raise OverflowError("bin x group key space does not fit in int64")
+            code = bin_of_packet * stride + groups[chunk.flow_ids]
+            unique_codes, inverse, original = np.unique(
+                code, return_inverse=True, return_counts=True
+            )
+        with telemetry.span("stream.sample"):
+            sampled = np.empty((num_streams, unique_codes.size), dtype=np.int64)
+            for stream, sampler in enumerate(stream_samplers):
+                mask = np.asarray(sampler.sample_mask(chunk), dtype=bool)
+                sampled[stream] = np.bincount(inverse[mask], minlength=unique_codes.size)
 
         # unique_codes is sorted, so each bin occupies a contiguous segment.
-        chunk_bins = unique_codes // stride
-        chunk_groups = unique_codes % stride
-        segment_bins, segment_bounds = bin_segments(chunk_bins)
-        for segment, (lo, hi) in enumerate(zip(segment_bounds[:-1], segment_bounds[1:])):
-            bin_index = int(segment_bins[segment])
-            state = open_bins.get(bin_index)
-            if state is None:
-                open_bins[bin_index] = _BinState(
-                    chunk_groups[lo:hi].copy(),
-                    original[lo:hi].astype(np.int64),
-                    sampled[:, lo:hi].copy(),
-                )
-            else:
-                state.merge(chunk_groups[lo:hi], original[lo:hi], sampled[:, lo:hi])
+        with telemetry.span("stream.bins"):
+            chunk_bins = unique_codes // stride
+            chunk_groups = unique_codes % stride
+            segment_bins, segment_bounds = bin_segments(chunk_bins)
+            for segment, (lo, hi) in enumerate(zip(segment_bounds[:-1], segment_bounds[1:])):
+                bin_index = int(segment_bins[segment])
+                state = open_bins.get(bin_index)
+                if state is None:
+                    open_bins[bin_index] = _BinState(
+                        chunk_groups[lo:hi].copy(),
+                        original[lo:hi].astype(np.int64),
+                        sampled[:, lo:hi].copy(),
+                    )
+                else:
+                    state.merge(chunk_groups[lo:hi], original[lo:hi], sampled[:, lo:hi])
 
     for index in sorted(open_bins):
         _finalise(index)
@@ -374,6 +382,10 @@ def run_monitor_stream(
         if first_time < previous_end:
             raise ValueError("chunks must arrive in global time order")
         previous_end = float(chunk.timestamps[-1])
+        if telemetry.enabled:
+            telemetry.count("monitor.chunks")
+            telemetry.count("monitor.packets", len(chunk))
+            telemetry.count("monitor.bytes", int(chunk.sizes_bytes.sum()))
 
         if fused:
             # Fused pass: one code gather and one constant-size check
@@ -381,36 +393,40 @@ def run_monitor_stream(
             # monitor accounting all consume the same trusted columns.
             # Masked views are index gathers of the shared arrays — no
             # per-engine re-validation, no intermediate batch objects.
-            timestamps = chunk.timestamps
-            sizes = chunk.sizes_bytes
-            codes = groups.take(chunk.flow_ids)
-            const_size = int(sizes[0]) if bool((sizes == sizes[0]).all()) else None
-            truth.observe_sorted_chunk(
-                timestamps,
-                codes,
-                sizes,
-                in_bounds=truth.reserve_codes(group_low, group_high),
-                const_size=const_size,
-            )
-            for stream, sampler in enumerate(stream_samplers):
-                keep = np.flatnonzero(
-                    np.asarray(sampler.sample_mask(chunk), dtype=bool)
-                )
-                monitors[stream].observe_sorted_chunk(
-                    timestamps.take(keep),
-                    codes.take(keep),
-                    sizes.take(keep),
-                    in_bounds=monitors[stream].reserve_codes(group_low, group_high),
+            with telemetry.span("monitor.account"):
+                timestamps = chunk.timestamps
+                sizes = chunk.sizes_bytes
+                codes = groups.take(chunk.flow_ids)
+                const_size = int(sizes[0]) if bool((sizes == sizes[0]).all()) else None
+                truth.observe_sorted_chunk(
+                    timestamps,
+                    codes,
+                    sizes,
+                    in_bounds=truth.reserve_codes(group_low, group_high),
                     const_size=const_size,
                 )
+            with telemetry.span("monitor.sample"):
+                for stream, sampler in enumerate(stream_samplers):
+                    keep = np.flatnonzero(
+                        np.asarray(sampler.sample_mask(chunk), dtype=bool)
+                    )
+                    monitors[stream].observe_sorted_chunk(
+                        timestamps.take(keep),
+                        codes.take(keep),
+                        sizes.take(keep),
+                        in_bounds=monitors[stream].reserve_codes(group_low, group_high),
+                        const_size=const_size,
+                    )
         else:
-            codes = groups[chunk.flow_ids]
-            truth.observe_chunk(chunk.timestamps, codes, chunk.sizes_bytes)
-            for stream, sampler in enumerate(stream_samplers):
-                mask = np.asarray(sampler.sample_mask(chunk), dtype=bool)
-                monitors[stream].observe_chunk(
-                    chunk.timestamps[mask], codes[mask], chunk.sizes_bytes[mask]
-                )
+            with telemetry.span("monitor.account"):
+                codes = groups[chunk.flow_ids]
+                truth.observe_chunk(chunk.timestamps, codes, chunk.sizes_bytes)
+            with telemetry.span("monitor.sample"):
+                for stream, sampler in enumerate(stream_samplers):
+                    mask = np.asarray(sampler.sample_mask(chunk), dtype=bool)
+                    monitors[stream].observe_chunk(
+                        chunk.timestamps[mask], codes[mask], chunk.sizes_bytes[mask]
+                    )
         # Bins the stream head has moved past can never grow again.
         for account in truth.drain_completed():
             _score(account)
@@ -421,6 +437,10 @@ def run_monitor_stream(
         raise ValueError("the packet stream produced no measurement bins")
 
     completed.sort(key=lambda entry: entry[0])
+    if telemetry.enabled:
+        telemetry.count(
+            "monitor.evictions", int(sum(monitor.evictions for monitor in monitors))
+        )
     return MonitorOutcome(
         bin_start_times=np.array([index * bin_duration for index, _, _, _ in completed]),
         flows_per_bin=float(np.mean([flows for _, flows, _, _ in completed])),

@@ -73,6 +73,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from .. import telemetry
 from ..flows.packets import PacketBatch
 from ..traces.source import DEFAULT_CHUNK_PACKETS, PacketSource
 from .executor import StreamOutcome, run_stream
@@ -364,6 +365,9 @@ class ExecutionPlan:
                 # auto mode degrades gracefully — and observably.
                 self.fallback_reason = f"auto backend fell back to serial: {problem}"
                 choice = "serial"
+        if telemetry.enabled:
+            telemetry.gauge("parallel.backend", choice)
+            telemetry.gauge("parallel.jobs", resolved_jobs)
         if choice == "serial":
             parts = [_run_cell_batch(self, list(range(self.num_cells)))]
         else:
@@ -378,13 +382,27 @@ class ExecutionPlan:
                         "run with transport='pickle' or transport='replay'"
                     )
             self.transport_used = chosen_transport
+            if telemetry.enabled:
+                telemetry.gauge("parallel.transport", chosen_transport)
             if chosen_transport == "replay":
                 batches = self.batches(resolved_jobs)
                 with ProcessPoolExecutor(max_workers=len(batches)) as pool:
-                    futures = [
-                        pool.submit(_run_cell_batch, self, batch) for batch in batches
-                    ]
-                    parts = [future.result() for future in futures]
+                    if telemetry.enabled:
+                        # Children start with telemetry off; the wrapper
+                        # enables it and returns each worker's snapshot
+                        # alongside the outcome for a deterministic merge.
+                        futures = [
+                            pool.submit(_run_cell_batch_telemetry, self, batch)
+                            for batch in batches
+                        ]
+                        packed = [future.result() for future in futures]
+                        parts = [(indices, outcome) for indices, outcome, _ in packed]
+                        telemetry.absorb([snapshot for _, _, snapshot in packed])
+                    else:
+                        futures = [
+                            pool.submit(_run_cell_batch, self, batch) for batch in batches
+                        ]
+                        parts = [future.result() for future in futures]
             else:
                 parts = self._execute_streamed(chosen_transport, resolved_jobs)
         return merge_outcomes(parts, self.num_cells)
@@ -426,6 +444,7 @@ class ExecutionPlan:
                         self.bin_duration,
                         self.top_t,
                         results,
+                        telemetry.enabled,
                     ),
                     daemon=True,
                 )
@@ -440,6 +459,7 @@ class ExecutionPlan:
             for channel in channels:
                 channel.close_sending()
             parts: list[tuple[list[int], StreamOutcome]] = []
+            snapshots: list[dict] = []
             for _ in workers:
                 try:
                     message = results.get(timeout=TRANSPORT_TIMEOUT_S)
@@ -451,6 +471,10 @@ class ExecutionPlan:
                 if message[0] == "error":
                     raise RuntimeError(f"transport worker failed: {message[1]}")
                 parts.append((message[1], message[2]))
+                if len(message) > 3 and message[3] is not None:
+                    snapshots.append(message[3])
+            if snapshots:
+                telemetry.absorb(snapshots)
             for worker in workers:
                 worker.join(TRANSPORT_TIMEOUT_S)
             return parts
@@ -788,21 +812,28 @@ def _stream_worker(
     bin_duration: float,
     top_t: int,
     results: multiprocessing.queues.Queue,
+    telemetry_enabled: bool = False,
 ) -> None:
     """Worker entry point for the streaming transports.
 
     Receives the parent's exact chunks through ``channel`` — so every
     cell sees the very same packet stream the serial backend would —
-    and posts ``("ok", indices, outcome)`` or ``("error", message)``.
+    and posts ``("ok", indices, outcome, snapshot)`` or ``("error",
+    message)``.  ``snapshot`` is this worker's telemetry registry when
+    the parent had telemetry on (children start fresh, so the flag must
+    travel explicitly); ``None`` otherwise.
     """
     try:
+        if telemetry_enabled:
+            telemetry.enable()
         samplers = [
             sampler_specs[spec_index].build(np.random.default_rng(seed))
             for _, spec_index, seed in cell_payload
         ]
         outcome = run_stream(channel.receive(), groups, samplers, bin_duration, top_t)
         indices = [stream_index for stream_index, _, _ in cell_payload]
-        results.put(("ok", indices, outcome))
+        snapshot = telemetry.snapshot() if telemetry_enabled else None
+        results.put(("ok", indices, outcome, snapshot))
     except BaseException as error:  # noqa: BLE001 - marshalled to the parent
         results.put(("error", f"{type(error).__name__}: {error}"))
 
@@ -839,6 +870,21 @@ def _run_cell_batch(
     chunks = plan.source.iter_chunks(plan._expand_rng(), chunk_packets=plan.chunk_packets)
     outcome = run_stream(chunks, plan.groups, samplers, plan.bin_duration, plan.top_t)
     return [cell.stream_index for cell in cells], outcome
+
+
+def _run_cell_batch_telemetry(
+    plan: ExecutionPlan, cell_indices: list[int]
+) -> tuple[list[int], StreamOutcome, dict]:
+    """Replay-backend worker entry with telemetry on.
+
+    Pool children start with telemetry disabled (module state does not
+    cross the process boundary); this wrapper enables it, evaluates the
+    batch, and returns the worker's registry snapshot for the parent to
+    :func:`~repro.telemetry.absorb` deterministically.
+    """
+    telemetry.enable()
+    indices, outcome = _run_cell_batch(plan, cell_indices)
+    return indices, outcome, telemetry.snapshot()
 
 
 def merge_outcomes(

@@ -63,6 +63,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import telemetry
 from ..flows.keys import FlowKeyPolicy
 from ..registry import KEY_POLICIES, SAMPLERS, TRACES, accepts_rng, parse_spec
 from ..sampling.base import PacketSampler
@@ -710,16 +711,22 @@ class Pipeline:
             the same seed whatever ``parallel`` and ``jobs`` are.
         """
         backend, jobs = _normalise_parallel(parallel, jobs)
-        plan = self.plan()
+        with telemetry.span("pipeline.plan"):
+            plan = self.plan()
         if self._monitor:
             if backend == "process":
                 raise ValueError(
                     "monitor-in-the-loop mode keeps a stateful flow table per stream "
                     "and runs serially; use parallel='serial' or 'auto'"
                 )
-            outcome = self._execute_monitor(plan)
+            with telemetry.span("pipeline.execute"):
+                outcome = self._execute_monitor(plan)
         else:
-            outcome = plan.execute(backend=backend, jobs=jobs)
+            with telemetry.span("pipeline.execute"):
+                outcome = plan.execute(backend=backend, jobs=jobs)
+        if telemetry.enabled:
+            telemetry.count("pipeline.runs")
+            telemetry.count("pipeline.cells", plan.num_cells)
 
         result = PipelineResult(
             flow_definition=self._resolve_key_policy().name,

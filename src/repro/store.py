@@ -77,7 +77,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 import numpy as np
 
-from . import __version__
+from . import __version__, telemetry
 from .pipeline.pipeline import Pipeline
 from .pipeline.result import PipelineResult
 from .spec import canonical_spec
@@ -381,10 +381,15 @@ class RunStore:
         self.array_format = array_format
         #: Lease clock; injectable so tests control expiry deterministically.
         self.clock: Callable[[], float] = clock if clock is not None else default_clock
-        #: Test hook fired at named points inside :meth:`put` (the
-        #: fault-injection suite uses it to kill a worker between the
-        #: artifact write and the index update).  ``None`` in production.
-        self.on_event: Callable[[str, str], None] | None = None
+        #: Multi-subscriber lifecycle bus.  Events fired at named points
+        #: (``put.after-artifact``, ``get.hit``/``get.miss``,
+        #: ``lease.claim``/``lease.renew``/``lease.release``/
+        #: ``lease.reclaim``) with the store key; the fault-injection
+        #: suite, telemetry adapters and progress reporters subscribe
+        #: concurrently without clobbering each other.
+        self.events: telemetry.EventBus = telemetry.EventBus()
+        #: Backing slot of the deprecated :attr:`on_event` shim.
+        self._legacy_on_event: Callable[[str, str], None] | None = None
         #: Keys this instance has put — the index merge loop re-asserts
         #: them so a concurrent writer can never erase our entries.
         self._written_entries: dict[str, dict] = {}
@@ -419,8 +424,29 @@ class RunStore:
         return self.runs_dir / f"{key}.npz"
 
     def _fire(self, event: str, key: str) -> None:
-        if self.on_event is not None:
-            self.on_event(event, key)
+        self.events.emit(event, key)
+
+    @property
+    def on_event(self) -> Callable[[str, str], None] | None:
+        """Deprecated single-slot alias over :attr:`events`.
+
+        Assigning a callback subscribes it on the event bus (replacing
+        any callback previously assigned through this attribute);
+        assigning ``None`` unsubscribes it.  New code should call
+        ``store.events.subscribe(...)`` / ``unsubscribe(...)`` directly
+        — multiple subscribers then coexist instead of clobbering one
+        slot.
+        """
+        return self._legacy_on_event
+
+    @on_event.setter
+    def on_event(self, callback: Callable[[str, str], None] | None) -> None:
+        telemetry.deprecated_single_slot("RunStore.on_event", "RunStore.events.subscribe()")
+        if self._legacy_on_event is not None:
+            self.events.unsubscribe(self._legacy_on_event)
+        self._legacy_on_event = callback
+        if callback is not None:
+            self.events.subscribe(callback)
 
     def _load_index(self) -> dict:
         """The parsed index, cached against the file's (mtime, size, inode).
@@ -545,6 +571,8 @@ class RunStore:
         _atomic_write_text(
             self.run_path(key), json.dumps(payload, indent=2, sort_keys=True) + "\n"
         )
+        if telemetry.enabled:
+            telemetry.count("store.put")
         self._fire("put.after-artifact", key)
         self._record_in_index(key, spec.canonical().to_dict())
         self.lease_path(key).unlink(missing_ok=True)
@@ -555,7 +583,13 @@ class RunStore:
         key = self.key_of(spec)
         path = self.run_path(key)
         if not path.is_file():
+            if telemetry.enabled:
+                telemetry.count("store.get.miss")
+            self._fire("get.miss", key)
             return None
+        if telemetry.enabled:
+            telemetry.count("store.get.hit")
+        self._fire("get.hit", key)
         payload = json.loads(path.read_text())
         result_dict = payload["result"]
         if _has_npz_refs(result_dict):
@@ -643,6 +677,9 @@ class RunStore:
         now = self.clock()
         lease = Lease(key=key, owner=owner, deadline=now + ttl, acquired=now)
         if self._publish_lease(lease):
+            if telemetry.enabled:
+                telemetry.count("store.lease.claim")
+            self._fire("lease.claim", key)
             return lease
         current = self.get_lease(key)
         if current is None:
@@ -674,7 +711,12 @@ class RunStore:
             tomb.unlink(missing_ok=True)
         if self.run_path(key).is_file():
             return None
-        return lease if self._publish_lease(lease) else None
+        if not self._publish_lease(lease):
+            return None
+        if telemetry.enabled:
+            telemetry.count("store.lease.reclaim")
+        self._fire("lease.reclaim", key)
+        return lease
 
     def renew(self, lease: Lease, ttl: float) -> Lease | None:
         """Heartbeat: extend an owned lease; ``None`` when it was lost.
@@ -693,6 +735,9 @@ class RunStore:
         _atomic_write_text(
             self.lease_path(lease.key), json.dumps(renewed.to_dict(), sort_keys=True) + "\n"
         )
+        if telemetry.enabled:
+            telemetry.count("store.lease.renew")
+        self._fire("lease.renew", lease.key)
         return renewed
 
     def release(self, lease: Lease) -> None:
@@ -700,6 +745,9 @@ class RunStore:
         current = self.get_lease(lease.key)
         if current is not None and current.owner == lease.owner:
             self.lease_path(lease.key).unlink(missing_ok=True)
+            if telemetry.enabled:
+                telemetry.count("store.lease.release")
+            self._fire("lease.release", lease.key)
 
     def list_leases(self) -> list[Lease]:
         """Every parseable lease file, sorted by key (corrupt ones skipped)."""

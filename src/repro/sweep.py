@@ -45,16 +45,24 @@ showing live pending/leased/done/orphaned counts via
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import threading
 import time
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from . import telemetry
 from .pipeline.parallel import probe_process_spawn
 from .spec import format_spec, parse_spec
-from .store import Lease, RunSpec, RunStore, StoredRun
+from .store import Lease, RunSpec, RunStore, StoredRun, _atomic_write_text
+
+#: Schema tag of the per-worker heartbeat telemetry files under
+#: ``<store>/telemetry/<owner>.json`` (see :meth:`SweepWorker` and
+#: :func:`worker_status`).
+WORKER_TELEMETRY_SCHEMA = "repro-telemetry/worker/1"
 
 
 @dataclass(frozen=True)
@@ -223,6 +231,8 @@ def run_sweep(
         if spec in store:
             if progress is not None:
                 progress("hit", index, len(cells), spec)
+            if telemetry.enabled:
+                telemetry.count("sweep.cells.hit")
             report.cached.append(store.key_of(spec))
             continue
         if max_cells is not None and len(report.executed) >= max_cells:
@@ -230,7 +240,11 @@ def run_sweep(
             break
         if progress is not None:
             progress("run", index, len(cells), spec)
-        report.executed.append(store.put(spec, spec.execute(parallel=parallel, jobs=jobs)))
+        with telemetry.span("sweep.cell"):
+            result = spec.execute(parallel=parallel, jobs=jobs)
+        if telemetry.enabled:
+            telemetry.count("sweep.cells.executed")
+        report.executed.append(store.put(spec, result))
     return report
 
 
@@ -467,6 +481,8 @@ class SweepWorker:
         self.poll_seconds = float(poll_seconds)
         self.sleep = sleep
         self.report = WorkerReport(owner=owner)
+        self._started: float = 0.0
+        self._seen_cached: set[str] = set()
 
     # ------------------------------------------------------------------
     def _fire(self, event: str) -> None:
@@ -477,19 +493,55 @@ class SweepWorker:
         del key
         self._fire(event)
 
+    def telemetry_path(self) -> Path:
+        """Heartbeat telemetry file this worker publishes for ``sweep watch``."""
+        return self.store.root / "telemetry" / f"{self.owner}.json"
+
+    def _write_heartbeat(self) -> None:
+        """Publish live per-worker throughput for :func:`worker_status`.
+
+        Written atomically (same temp-and-replace idiom as artifacts) so
+        a reader never sees a torn file; any I/O failure is swallowed —
+        observability must never fail the drain.  The clocks are the
+        store's monotonic lease clock, so elapsed times are comparable
+        across workers sharing the store.
+        """
+        elapsed = self.store.clock() - self._started
+        done = len(self.report.executed)
+        payload = {
+            "schema": WORKER_TELEMETRY_SCHEMA,
+            "owner": self.owner,
+            "cells_done": done,
+            "cache_hits": len(self._seen_cached),
+            "skipped": self.report.skipped,
+            "passes": self.report.passes,
+            "elapsed_s": round(elapsed, 6),
+            "cells_per_s": round(done / elapsed, 6) if elapsed > 0 else None,
+        }
+        try:
+            path = self.telemetry_path()
+            path.parent.mkdir(parents=True, exist_ok=True)
+            _atomic_write_text(path, json.dumps(payload, sort_keys=True) + "\n")
+        except OSError:
+            pass  # heartbeat only; the artifacts remain the source of truth
+
     def _execute_cell(self, spec: RunSpec, lease: Lease) -> None:
         beat = _LeaseHeartbeat(self.store, lease, self.ttl) if self.heartbeat else None
         if beat is not None:
             beat.start()
         try:
             self._fire("execute.mid")
-            result = spec.execute(parallel=self.parallel, jobs=self.jobs)
+            with telemetry.span("sweep.cell"):
+                result = spec.execute(parallel=self.parallel, jobs=self.jobs)
         finally:
             if beat is not None:
                 beat.stop()
         self.store.put(spec, result)
         self.store.release(lease)
+        if telemetry.enabled:
+            telemetry.count("sweep.cells.executed")
         self.report.executed.append(self.store.key_of(spec))
+        self._write_heartbeat()
 
     def run(self) -> WorkerReport:
         """Drain until every cell of the grid is in the store.
@@ -500,8 +552,11 @@ class SweepWorker:
         """
         cells = self.grid.cells()
         self.report.total = len(cells)
+        self._started = self.store.clock()
+        self._write_heartbeat()
+        subscribed: Callable[[str, str], None] | None = None
         if self.fault_plan is not None:
-            self.store.on_event = self._store_event
+            subscribed = self.store.events.subscribe(self._store_event)
         try:
             while True:
                 self.report.passes += 1
@@ -509,6 +564,12 @@ class SweepWorker:
                 progressed = False
                 for spec in cells:
                     if spec in self.store:
+                        key = self.store.key_of(spec)
+                        # A cell this worker just executed re-appears as
+                        # stored on the final rescan; only cells finished
+                        # by someone else count as cache hits.
+                        if key not in self.report.executed:
+                            self._seen_cached.add(key)
                         continue
                     pending = True
                     self._fire("claim.before")
@@ -517,8 +578,10 @@ class SweepWorker:
                         self.report.skipped += 1
                         continue
                     self._fire("claim.after")
+                    self._seen_cached.discard(self.store.key_of(spec))
                     self._execute_cell(spec, lease)
                     progressed = True
+                self._write_heartbeat()
                 if not pending:
                     return self.report
                 if not progressed:
@@ -526,8 +589,8 @@ class SweepWorker:
                     # for it to finish or for its lease to expire.
                     self.sleep(self.poll_seconds)
         finally:
-            if self.fault_plan is not None:
-                self.store.on_event = None
+            if subscribed is not None:
+                self.store.events.unsubscribe(subscribed)
 
 
 def _worker_entry(
@@ -706,17 +769,47 @@ def run_sweep_workers(
     )
 
 
+def read_worker_telemetry(store: RunStore) -> list[dict]:
+    """Heartbeat telemetry published by live (or recently live) workers.
+
+    Reads every ``<store>/telemetry/*.json`` file written by
+    :meth:`SweepWorker._write_heartbeat`, skipping unreadable or
+    foreign-schema files, and returns the payloads sorted by owner so
+    the view is deterministic regardless of directory order.
+    """
+    directory = store.root / "telemetry"
+    rows: list[dict] = []
+    try:
+        paths = sorted(directory.glob("*.json"))
+    except OSError:
+        return rows
+    for path in paths:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(payload, dict):
+            continue
+        if payload.get("schema") != WORKER_TELEMETRY_SCHEMA:
+            continue
+        rows.append(payload)
+    rows.sort(key=lambda row: str(row.get("owner", "")))
+    return rows
+
+
 def worker_status(grid: SweepGrid, store: RunStore) -> dict:
     """Live distribution view of the grid — what ``repro sweep watch`` shows.
 
     Classifies every cell via :meth:`RunStore.cell_state
     <repro.store.RunStore.cell_state>` and returns ``total`` plus
-    ``done`` / ``leased`` / ``orphaned`` / ``pending`` counts and a
+    ``done`` / ``leased`` / ``orphaned`` / ``pending`` counts, a
     ``cells`` list of per-cell dicts (``key``, ``state``, ``owner``,
-    ``remaining`` lease seconds, ``spec``) in grid order.  ``orphaned``
-    cells — an expired or corrupt lease with no artifact — are exactly
-    the ones a crashed worker left behind; any running worker (or the
-    next ``sweep run``) reclaims them.
+    ``remaining`` lease seconds, ``spec``) in grid order, and a
+    ``workers`` list of heartbeat telemetry payloads
+    (:func:`read_worker_telemetry`).  ``orphaned`` cells — an expired
+    or corrupt lease with no artifact — are exactly the ones a crashed
+    worker left behind; any running worker (or the next ``sweep run``)
+    reclaims them.
     """
     now = store.clock()
     counts = {"done": 0, "leased": 0, "orphaned": 0, "pending": 0}
@@ -737,7 +830,12 @@ def worker_status(grid: SweepGrid, store: RunStore) -> dict:
                 "spec": spec,
             }
         )
-    return {"total": len(rows), **counts, "cells": rows}
+    return {
+        "total": len(rows),
+        **counts,
+        "cells": rows,
+        "workers": read_worker_telemetry(store),
+    }
 
 
 # ----------------------------------------------------------------------
@@ -874,6 +972,7 @@ __all__ = [
     "SweepGrid",
     "SweepReport",
     "SweepWorker",
+    "WORKER_TELEMETRY_SCHEMA",
     "WorkerCrash",
     "WorkerPool",
     "WorkerReport",
@@ -881,6 +980,7 @@ __all__ = [
     "collect",
     "comparison_rows",
     "leaderboard_rows",
+    "read_worker_telemetry",
     "run_sweep",
     "run_sweep_workers",
     "start_sweep_workers",

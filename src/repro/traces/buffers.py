@@ -234,6 +234,11 @@ class ChunkBuffer:
         return self._hi - self._lo
 
     @property
+    def capacity(self) -> int:
+        """Allocated per-column capacity in packets (telemetry surface)."""
+        return int(self._ts.size)
+
+    @property
     def timestamps(self) -> np.ndarray:
         """View of the live timestamps (valid until the next mutation)."""
         return self._ts[self._lo : self._hi]

@@ -66,6 +66,7 @@ from pathlib import Path
 
 import numpy as np
 
+from .. import telemetry
 from ..flows.keys import FlowKeyPolicy
 from ..flows.packets import DEFAULT_PACKET_SIZE_BYTES, PacketBatch
 from .buffers import ChunkBuffer, RunQueue, SortedRun, merge_sorted_runs, stable_order
@@ -171,7 +172,10 @@ def iter_expanded_chunks(
         Time-sorted packet chunks whose concatenation is the global
         time-sorted stream.
     """
-    if _resolve_assembly(assembly) == "fast":
+    backend = _resolve_assembly(assembly)
+    if telemetry.enabled:
+        telemetry.gauge("source.assembly_backend", backend)
+    if backend == "fast":
         return _iter_expanded_fast(trace, rng, chunk_packets, clip_to_duration, packet_size_bytes)
     return _iter_expanded_reference(trace, rng, chunk_packets, clip_to_duration, packet_size_bytes)
 
@@ -238,6 +242,9 @@ def _iter_expanded_reference(
             emit_ts = emit_ts[sort]
             emit_ids = emit_ids[sort]
             sizes_bytes = np.full(emit_ts.size, packet_size_bytes, dtype=np.int32)
+            if telemetry.enabled:
+                telemetry.count("source.chunks")
+                telemetry.count("source.packets", int(emit_ts.size))
             yield PacketBatch(emit_ts, emit_ids, sizes_bytes)
 
 
@@ -312,6 +319,10 @@ def _iter_expanded_fast(
         else:
             emit = merged_ts.size
         if emit:
+            if telemetry.enabled:
+                telemetry.count("source.chunks")
+                telemetry.count("source.packets", emit)
+                telemetry.gauge("source.buffer_capacity", pending.capacity)
             yield PacketBatch.from_trusted_columns(
                 merged_ts[:emit],
                 merged_ids[:emit],

@@ -179,6 +179,14 @@ RULE_FIXTURES = [
         "    return pending.run()\n",
     ),
     (
+        "raw-timing",
+        "import time\nstart = time.perf_counter()\n",
+        "from repro import telemetry\n"
+        "def timed(work):\n"
+        "    with telemetry.span('stage'):\n"
+        "        return work()\n",
+    ),
+    (
         "missing-annotations",
         "def run(spec):\n    return spec\n",
         "def run(spec: str) -> str:\n    return spec\n",
@@ -401,6 +409,41 @@ class TestSourceHotConcat:
             "  # reprolint: disable=source-hot-concat -- retained reference path\n"
         )
         assert lint_source(justified, module=self.SRC, select="source-hot-concat") == []
+
+
+class TestRawTiming:
+    def test_flags_perf_counter_variants(self):
+        source = (
+            "import time\n"
+            "def bench(work):\n"
+            "    start = time.perf_counter()\n"
+            "    work()\n"
+            "    return time.perf_counter_ns() - start\n"
+        )
+        findings = lint_source(source, module=LIB, select="raw-timing")
+        assert [v.line for v in findings] == [3, 5]
+
+    def test_telemetry_module_exempt(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(source, module="repro.telemetry", select="raw-timing") == []
+
+    def test_silent_outside_library(self):
+        source = "import time\nstart = time.perf_counter()\n"
+        assert lint_source(source, select="raw-timing") == []
+
+    def test_suppression_requires_reason(self):
+        bare = (
+            "import time\n"
+            "start = time.perf_counter()  # reprolint: disable=raw-timing\n"
+        )
+        findings = lint_source(bare, module=LIB, select="raw-timing")
+        assert [v.rule_name for v in findings] == ["raw-timing"]
+        justified = (
+            "import time\n"
+            "start = time.perf_counter()"
+            "  # reprolint: disable=raw-timing -- calibration loop, spans unavailable\n"
+        )
+        assert lint_source(justified, module=LIB, select="raw-timing") == []
 
 
 class TestEngine:

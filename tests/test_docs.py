@@ -38,6 +38,7 @@ DOC_PAGES = (
     "sweeps.md",
     "registry.md",
     "analysis.md",
+    "observability.md",
     "cli.md",
 )
 
